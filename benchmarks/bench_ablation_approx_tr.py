@@ -1,0 +1,73 @@
+"""Ablation: approximate triangle discovery for TR (§4.3).
+
+The paper notes that "numerous approximate schemes find fractions of all
+triangles in a graph much faster than O(m^{3/2}) ... further reducing the
+cost of lossy compression based on TR".  This ablation quantifies the
+tradeoff on a triangle-rich graph: sweep the discovery subsample
+probability and measure
+
+- compression time (should fall superlinearly: listing cost scales with
+  the subsample's m^{3/2}),
+- discovered triangles and achieved edge reduction (fall with the cube /
+  near-cube of the subsample probability).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit
+from repro.analytics.report import format_table
+from repro.compress.triangle_reduction import TriangleReduction
+
+PROBS = [1.0, 0.7, 0.4, 0.2]
+
+
+def run_approx_tr(graph_cache, results_dir):
+    g = graph_cache.load("s-cds")
+    rows = []
+    for prob in PROBS:
+        scheme = TriangleReduction(
+            0.5, approx_listing_p=None if prob == 1.0 else prob
+        )
+        best = float("inf")
+        res = None
+        for _ in range(2):
+            start = time.perf_counter()
+            res = scheme.compress(g, seed=19)
+            best = min(best, time.perf_counter() - start)
+        rows.append(
+            [
+                "exact" if prob == 1.0 else f"subsample {prob}",
+                best,
+                res.extras["triangles"],
+                res.edge_reduction,
+            ]
+        )
+    headers = ["discovery", "seconds", "triangles_found", "edge_reduction"]
+    text = format_table(rows, headers, title="Ablation: approximate triangle discovery for TR (s-cds)")
+    emit(results_dir, "ablation_approx_tr", text, rows, headers)
+
+    # --- shapes ---
+    triangles = [r[2] for r in rows]
+    reductions = [r[3] for r in rows]
+    assert all(a >= b for a, b in zip(triangles, triangles[1:])), (
+        "fewer triangles found at smaller subsamples"
+    )
+    assert all(a >= b - 0.01 for a, b in zip(reductions, reductions[1:])), (
+        "less reduction at smaller subsamples"
+    )
+    # Triangle discovery scales ~ prob^3 (all three edges must survive).
+    for prob, found in zip(PROBS[1:], triangles[1:]):
+        expected = prob**3 * triangles[0]
+        assert 0.3 * expected <= found <= 3.0 * expected, (
+            f"subsample {prob}: found {found}, expected ~{expected:.0f}"
+        )
+    return rows
+
+
+def test_ablation_approx_tr(benchmark, graph_cache, results_dir):
+    rows = benchmark.pedantic(
+        run_approx_tr, args=(graph_cache, results_dir), rounds=1, iterations=1
+    )
+    assert len(rows) == len(PROBS)

@@ -1,0 +1,66 @@
+"""Ablation: the low-diameter-decomposition parameter β (spanner design).
+
+The spanner construction (§4.5.3) hinges on one knob: β = ln(n)/k.  This
+ablation sweeps β directly and measures what the theory predicts:
+
+- cluster count grows with β (each vertex's exponential shift is smaller,
+  so more vertices win their own wave);
+- the fraction of inter-cluster edges grows with β (MPX: E[crossing] ≈ β·m);
+- the resulting spanner's edge count therefore grows with β — small β
+  (large k) is where the big compression lives, which is exactly the
+  Fig. 5 "threshold" behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analytics.report import format_table
+from repro.compress.mappings import low_diameter_decomposition
+
+BETAS = [0.05, 0.1, 0.3, 0.6, 1.2]
+
+
+def run_ldd_ablation(graph_cache, results_dir):
+    g = graph_cache.load("v-ewk")
+    rows = []
+    for beta in BETAS:
+        ldd = low_diameter_decomposition(g, beta, seed=13)
+        mp = ldd.mapping
+        crossing = (mp[g.edge_src] != mp[g.edge_dst]).mean()
+        tree_edges = int((ldd.parent_edge_ids >= 0).sum())
+        rows.append(
+            [
+                beta,
+                ldd.num_clusters,
+                float(crossing),
+                tree_edges,
+                tree_edges + len(np.unique(
+                    np.minimum(mp[g.edge_src], mp[g.edge_dst]) * np.int64(ldd.num_clusters)
+                    + np.maximum(mp[g.edge_src], mp[g.edge_dst])
+                )) ,
+            ]
+        )
+    headers = ["beta", "clusters", "crossing_edge_fraction", "tree_edges", "spanner_edges_upper"]
+    text = format_table(rows, headers, title="Ablation: LDD beta sweep (v-ewk)")
+    emit(results_dir, "ablation_ldd_beta", text, rows, headers)
+
+    # --- theory shapes ---
+    clusters = [r[1] for r in rows]
+    crossing = [r[2] for r in rows]
+    assert all(a <= b for a, b in zip(clusters, clusters[1:])), "clusters grow with beta"
+    assert all(a <= b + 0.02 for a, b in zip(crossing, crossing[1:])), (
+        "crossing-edge fraction grows with beta"
+    )
+    # MPX expectation: crossing fraction is O(beta) — check within a factor.
+    for beta, frac in zip(BETAS, crossing):
+        assert frac <= 6 * beta + 0.05, f"beta={beta}: crossing {frac} too high"
+    return rows
+
+
+def test_ablation_ldd_beta(benchmark, graph_cache, results_dir):
+    rows = benchmark.pedantic(
+        run_ldd_ablation, args=(graph_cache, results_dir), rounds=1, iterations=1
+    )
+    assert len(rows) == len(BETAS)

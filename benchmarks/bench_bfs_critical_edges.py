@@ -1,0 +1,70 @@
+"""§7.2: BFS critical-edge preservation by spanners.
+
+The paper reports, for s-pok, that removing 21% (k=2), 73% (k=8), 89%
+(k=32) and 95% (k=128) of edges preserves 96%, 75%, 57% and 27% of the
+critical edges, and that "the accuracy is maintained when different root
+vertices are picked and different graphs are selected".
+
+This bench reproduces the sweep on s-pok (plus two more graphs and
+multiple roots) and asserts the shape: preservation decreases in k and
+stays substantial at k=2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analytics.report import format_table
+from repro.compress.spanner import Spanner
+from repro.metrics.bfs_quality import critical_edge_preservation
+
+GRAPHS = ["s-pok", "v-ewk", "l-dbl"]
+KS = [2, 8, 32, 128]
+ROOTS = [0, 17, 101]
+
+
+def run_bfs_critical(graph_cache, results_dir):
+    rows = []
+    for gname in GRAPHS:
+        g = graph_cache.load(gname)
+        for k in KS:
+            res = Spanner(k).compress(g, seed=7)
+            preserved = [
+                critical_edge_preservation(g, res.graph, root) for root in ROOTS
+            ]
+            rows.append(
+                [
+                    gname,
+                    k,
+                    res.edge_reduction,
+                    float(np.mean(preserved)),
+                    float(np.min(preserved)),
+                    float(np.max(preserved)),
+                ]
+            )
+    headers = ["graph", "k", "edges_removed", "critical_mean", "critical_min", "critical_max"]
+    text = format_table(
+        rows, headers, title="§7.2: spanner BFS critical-edge preservation"
+    )
+    emit(results_dir, "bfs_critical_edges", text, rows, headers)
+
+    # --- shape assertions ---
+    for gname in GRAPHS:
+        series = [r for r in rows if r[0] == gname]
+        means = [r[3] for r in series]
+        # Non-increasing in k (tolerate tiny noise between saturated ks).
+        for a, b in zip(means, means[1:]):
+            assert b <= a + 0.05, f"{gname}: preservation should decay with k"
+        assert means[0] > 0.45, f"{gname}: k=2 should preserve much of Ecr"
+        # Removal grows with k.
+        reductions = [r[2] for r in series]
+        assert reductions[-1] >= reductions[0]
+    return rows
+
+
+def test_bfs_critical_edges(benchmark, graph_cache, results_dir):
+    rows = benchmark.pedantic(
+        run_bfs_critical, args=(graph_cache, results_dir), rounds=1, iterations=1
+    )
+    assert len(rows) == len(GRAPHS) * len(KS)

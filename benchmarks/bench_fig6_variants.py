@@ -1,0 +1,73 @@
+"""Figure 6: compression-ratio analysis of scheme *variants* at p = 0.5.
+
+Left panel — spectral sparsification with Υ ∝ average degree vs
+Υ ∝ log n across many graphs (variants give different size reductions
+depending on the graph).  Right panel — plain 0.5-1-TR vs CT-0.5-1-TR vs
+EO-0.5-1-TR on five graphs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analytics.report import format_table
+from repro.compress.spectral import SpectralSparsifier
+from repro.compress.triangle_reduction import TriangleReduction
+
+SPECTRAL_GRAPHS = [
+    "h-dar", "h-din", "h-dit", "h-dsk", "h-wdb", "h-wen", "h-wit",
+    "l-act", "m-twt", "s-frs", "s-gmc", "s-ljn", "s-ork", "v-wbb",
+]
+TR_GRAPHS = ["h-wdb", "h-wen", "s-ljn", "s-ork", "h-wit"]
+
+
+def run_fig6_left(graph_cache, results_dir):
+    rows = []
+    for gname in SPECTRAL_GRAPHS:
+        g = graph_cache.load(gname)
+        row = [gname]
+        for variant in ("avgdeg", "logn"):
+            res = SpectralSparsifier(0.5, variant=variant).compress(g, seed=2)
+            row.append(res.edge_reduction)
+        rows.append(row)
+    headers = ["graph", "spectral-avgdeg", "spectral-logn"]
+    text = format_table(rows, headers, title="Figure 6 (left): spectral variants, p=0.5")
+    emit(results_dir, "fig6_left_spectral_variants", text, rows, headers)
+    # Shape: variants differ per graph, and both actually reduce edges
+    # on the heavy-tailed graphs.
+    differing = sum(1 for r in rows if abs(r[1] - r[2]) > 0.01)
+    assert differing >= len(rows) // 2, "variants should differ on most graphs"
+    return rows
+
+
+def run_fig6_right(graph_cache, results_dir):
+    rows = []
+    for gname in TR_GRAPHS:
+        g = graph_cache.load(gname)
+        row = [gname]
+        for variant in ("basic", "count_triangles", "edge_once"):
+            res = TriangleReduction(0.5, variant=variant).compress(g, seed=2)
+            row.append(res.edge_reduction)
+        rows.append(row)
+    headers = ["graph", "0.5-1-TR", "CT-0.5-1-TR", "EO-0.5-1-TR"]
+    text = format_table(rows, headers, title="Figure 6 (right): TR variants, p=0.5")
+    emit(results_dir, "fig6_right_tr_variants", text, rows, headers)
+    # Shape: the edge-once discipline cannot delete more than basic
+    # (every deletion lottery touches a distinct edge at most once).
+    for r in rows:
+        assert r[3] <= r[1] + 0.02, f"EO exceeded basic reduction on {r[0]}"
+        assert r[1] > 0, f"no reduction at all on {r[0]}"
+    return rows
+
+
+def test_fig6_left(benchmark, graph_cache, results_dir):
+    rows = benchmark.pedantic(
+        run_fig6_left, args=(graph_cache, results_dir), rounds=1, iterations=1
+    )
+    assert len(rows) == len(SPECTRAL_GRAPHS)
+
+
+def test_fig6_right(benchmark, graph_cache, results_dir):
+    rows = benchmark.pedantic(
+        run_fig6_right, args=(graph_cache, results_dir), rounds=1, iterations=1
+    )
+    assert len(rows) == len(TR_GRAPHS)

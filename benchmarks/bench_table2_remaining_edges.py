@@ -1,0 +1,79 @@
+"""Table 2: "#remaining edges" formulas of every Slim Graph scheme.
+
+Each row of Table 2 states the expected edge count after compression:
+
+- spectral: ∝ max(log(3/p), log n)·n-ish — every vertex keeps ~Υ edges;
+- uniform: (1-p_remove)·m;
+- TR: m − pT (up to triangle overlap);
+- spanner: O(n^{1+1/k} log k);
+- summarization: m ± 2εm.
+
+This bench measures all five against their formulas on one graph.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.algorithms.triangles import count_triangles
+from repro.analytics.report import format_table
+from repro.compress.spanner import Spanner
+from repro.compress.spectral import SpectralSparsifier
+from repro.compress.summarization import LossySummarization
+from repro.compress.triangle_reduction import TriangleReduction
+from repro.compress.uniform import RandomUniformSampling
+from repro.graphs import generators as gen
+
+
+def run_table2(results_dir):
+    g = gen.powerlaw_cluster(800, 8, 0.7, seed=31)
+    m, n = g.num_edges, g.n
+    t = count_triangles(g)
+    rows = []
+
+    # Uniform: E[m'] = keep * m.
+    keep = 0.6
+    m_uni = RandomUniformSampling(keep).compress(g, seed=1).graph.num_edges
+    rows.append(["uniform", f"(1-p)m = {keep * m:.0f}", m_uni,
+                 abs(m_uni - keep * m) < 4 * math.sqrt(keep * (1 - keep) * m)])
+
+    # Spectral: every vertex keeps <= ~Υ + its sure edges; m' ~ sum p_uv.
+    p = 0.3
+    from repro.compress.spectral import edge_keep_probabilities
+
+    expected = float(edge_keep_probabilities(g, p, "logn").sum())
+    m_spec = SpectralSparsifier(p).compress(g, seed=2).graph.num_edges
+    rows.append(["spectral", f"sum p_uv = {expected:.0f}", m_spec,
+                 abs(m_spec - expected) < 4 * math.sqrt(expected)])
+
+    # TR: m' >= m - pT, and close to it when triangles overlap little.
+    p_tr = 0.5
+    m_tr = TriangleReduction(p_tr).compress(g, seed=3).graph.num_edges
+    rows.append(["p-1-TR", f">= m - pT = {m - p_tr * t:.0f}", m_tr,
+                 m_tr >= m - p_tr * t - 4 * math.sqrt(max(t, 1))])
+
+    # Spanner: m' = O(n^{1+1/k} log k).
+    k = 4
+    m_span = Spanner(k).compress(g, seed=4).graph.num_edges
+    budget = 4 * n ** (1 + 1 / k) * (1 + math.log(k))
+    rows.append(["spanner", f"O(n^(1+1/k)) <= {budget:.0f}", m_span, m_span <= budget])
+
+    # Summarization: m' in m ± 2εm.
+    eps = 0.4
+    m_sum = LossySummarization(eps).compress(g, seed=5).graph.num_edges
+    rows.append(["summarization", f"m ± 2em in [{m * (1 - 2 * eps):.0f}, {m * (1 + 2 * eps):.0f}]",
+                 m_sum, abs(m_sum - m) <= 2 * eps * m])
+
+    headers = ["scheme", "Table 2 formula", "measured m'", "holds"]
+    text = format_table(rows, headers, title=f"Table 2: remaining edges (m={m}, T={t})")
+    emit(results_dir, "table2_remaining_edges", text, rows, headers)
+    assert all(r[3] for r in rows), [r[0] for r in rows if not r[3]]
+    return rows
+
+
+def test_table2_remaining_edges(benchmark, results_dir):
+    rows = benchmark.pedantic(run_table2, args=(results_dir,), rounds=1, iterations=1)
+    assert len(rows) == 5

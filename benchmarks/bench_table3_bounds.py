@@ -1,0 +1,122 @@
+"""Table 3: empirical verification of every theoretical bound.
+
+Runs the full matrix of (scheme row × property column) from Table 3 on a
+triangle-rich evaluation graph, records bound vs observation for each
+cell, and fails if any *deterministic* bound breaks (expectation/whp
+bounds use the paper's own slack semantics; see repro.theory.bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.algorithms.coloring import coloring_number, greedy_coloring
+from repro.algorithms.components import connected_components
+from repro.algorithms.independent_set import greedy_mis
+from repro.algorithms.matching import maximum_matching_size
+from repro.algorithms.paths import pairwise_distance
+from repro.algorithms.spectrum import quadratic_form_ratio_bounds
+from repro.algorithms.triangles import count_triangles
+from repro.analytics.report import format_table
+from repro.compress.spanner import Spanner
+from repro.compress.spectral import SpectralSparsifier
+from repro.compress.summarization import LossySummarization
+from repro.compress.triangle_reduction import TriangleReduction
+from repro.compress.uniform import RandomUniformSampling
+from repro.graphs import generators as gen
+from repro.theory import bounds
+
+
+def run_table3(results_dir):
+    g = gen.powerlaw_cluster(500, 6, 0.6, seed=23)
+    checks: list[bounds.BoundCheck] = []
+
+    def stats(graph):
+        return {
+            "m": graph.num_edges,
+            "T": count_triangles(graph),
+            "dmax": int(graph.degrees.max()),
+            "cc": connected_components(graph).num_components,
+            "mc": maximum_matching_size(graph),
+            "cg": coloring_number(graph),
+            "mis": len(greedy_mis(graph)),
+            "dist": pairwise_distance(graph, 0, graph.n - 1),
+        }
+
+    base = stats(g)
+
+    # --- Simple p-sampling row (p_remove = 0.5).
+    keep = 0.5
+    sub = RandomUniformSampling(keep).compress(g, seed=1).graph
+    s = stats(sub)
+    checks += [
+        bounds.uniform_edges(base["m"], s["m"], 1 - keep),
+        bounds.uniform_components(base["cc"], s["cc"], base["m"], s["m"]),
+        bounds.uniform_matching(base["mc"], s["mc"], 1 - keep, slack=1.15),
+        bounds.uniform_coloring(base["cg"], s["cg"], 1 - keep),
+        bounds.uniform_max_degree(base["dmax"], s["dmax"], 1 - keep),
+        bounds.uniform_independent_set(base["mis"], s["mis"], base["m"], s["m"]),
+    ]
+
+    # --- Spectral row.
+    sub = SpectralSparsifier(0.8).compress(g, seed=2).graph
+    s = stats(sub)
+    lo, hi = quadratic_form_ratio_bounds(g, sub, num_probes=32, seed=0)
+    checks += [
+        bounds.spectral_components(base["cc"], s["cc"]),
+        bounds.spectral_max_degree(base["dmax"], s["dmax"], 1.0),
+        bounds.spectral_quadratic_form(lo, hi, epsilon=0.8),
+    ]
+
+    # --- Spanner row.
+    for k in (2, 8):
+        sub = Spanner(k).compress(g, seed=3).graph
+        s = stats(sub)
+        checks += [
+            bounds.spanner_edges(g.n, s["m"], k),
+            bounds.spanner_components(base["cc"], s["cc"]),
+            bounds.spanner_triangles(g.n, s["T"], k),
+            bounds.spanner_distance_stretch(base["dist"], s["dist"], k),
+            bounds.spanner_coloring(
+                g.n, greedy_coloring(sub, "degeneracy").num_colors, k
+            ),
+        ]
+
+    # --- EO p-1-TR row.
+    p = 0.8
+    sub = TriangleReduction(p, variant="edge_once").compress(g, seed=4).graph
+    s = stats(sub)
+    checks += [
+        bounds.eo_tr_edges(base["m"], s["m"], p, base["T"], base["dmax"], slack=3.0),
+        bounds.eo_tr_components(base["cc"], s["cc"]),
+        bounds.eo_tr_matching(base["mc"], s["mc"], slack=1.1),
+        bounds.eo_tr_coloring(base["cg"], s["cg"]),
+        bounds.eo_tr_shortest_path(base["dist"], s["dist"], p, g.n),
+        bounds.eo_tr_independent_set(base["mis"], s["mis"], p, base["T"]),
+    ]
+
+    # --- ε-summary row.
+    eps = 0.3
+    res = LossySummarization(eps).compress(g, seed=5)
+    checks += [
+        bounds.summary_edges(base["m"], res.graph.num_edges, eps),
+        bounds.summary_neighborhoods(g, res.graph, eps),
+    ]
+
+    rows = [
+        [c.name, c.kind, c.bound, c.observed, "PASS" if c.holds else "FAIL"]
+        for c in checks
+    ]
+    headers = ["bound (Table 3 cell)", "kind", "bound", "observed", "status"]
+    text = format_table(rows, headers, title="Table 3: bounds verified empirically")
+    emit(results_dir, "table3_bounds", text, rows, headers)
+
+    failures = [c for c in checks if not c.holds]
+    assert not failures, f"Table 3 bound(s) violated: {[c.name for c in failures]}"
+    return rows
+
+
+def test_table3_bounds(benchmark, results_dir):
+    rows = benchmark.pedantic(run_table3, args=(results_dir,), rounds=1, iterations=1)
+    assert len(rows) >= 20, "the paper derives 20+ nontrivial bounds"

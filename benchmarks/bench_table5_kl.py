@@ -1,0 +1,70 @@
+"""Table 5: Kullback–Leibler divergence of PageRank distributions.
+
+For five graphs and seven compression configurations (EO-0.8-1-TR,
+EO-1.0-1-TR, uniform p=0.2 / 0.5 — the paper's "p" there is the kept
+fraction, spanner k = 2 / 16 / 128), compare the PageRank distribution on
+the compressed graph against the original with D_KL.
+
+Shape assertions (§7.2): within every scheme family, more compression ⇒
+higher KL; EO-TR's divergences sit below uniform p=0.5's.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.algorithms.pagerank import pagerank
+from repro.analytics.report import format_table
+from repro.compress.registry import make_scheme
+from repro.metrics.divergences import kl_divergence
+
+GRAPHS = ["s-you", "h-hud", "l-dbl", "v-skt", "v-usa"]
+# Table 5's "Uniform (p=x)" states the REMOVED fraction; our scheme takes
+# the kept fraction, hence uniform(p=1-x) below.
+SCHEMES = [
+    ("EO-0.8-1-TR", "EO-0.8-1-TR"),
+    ("EO-1.0-1-TR", "EO-1.0-1-TR"),
+    ("uniform(p=0.8)", "Uniform p=0.2"),
+    ("uniform(p=0.5)", "Uniform p=0.5"),
+    ("spanner(k=2)", "Spanner k=2"),
+    ("spanner(k=16)", "Spanner k=16"),
+    ("spanner(k=128)", "Spanner k=128"),
+]
+
+
+def run_table5(graph_cache, results_dir):
+    rows = []
+    values: dict[tuple, float] = {}
+    for gname in GRAPHS:
+        g = graph_cache.load(gname)
+        pr0 = pagerank(g, max_iterations=100).ranks
+        row = [gname]
+        for spec, _ in SCHEMES:
+            sub = make_scheme(spec).compress(g, seed=3).graph
+            kl = kl_divergence(pr0, pagerank(sub, max_iterations=100).ranks)
+            row.append(kl)
+            values[(gname, spec)] = kl
+        rows.append(row)
+    headers = ["graph"] + [label for _, label in SCHEMES]
+    text = format_table(
+        rows, headers, title="Table 5: KL divergence of PageRank distributions"
+    )
+    emit(results_dir, "table5_pagerank_kl", text, rows, headers)
+
+    # --- shape assertions (Table 5: KL grows with compression) ---
+    for gname in GRAPHS:
+        # Uniform: removing 50% diverges more than removing 20%.
+        assert values[(gname, "uniform(p=0.5)")] >= values[(gname, "uniform(p=0.8)")]
+        # TR: reducing every triangle diverges at least as much as 80%.
+        assert values[(gname, "EO-1.0-1-TR")] >= values[(gname, "EO-0.8-1-TR")] - 1e-6
+        # EO-TR is gentler than dropping half of all edges.
+        assert values[(gname, "EO-1.0-1-TR")] <= values[(gname, "uniform(p=0.5)")] + 1e-6
+    # Spanners on the road network barely move PageRank (v-usa row ~0).
+    assert values[("v-usa", "spanner(k=2)")] < 0.05
+    return rows
+
+
+def test_table5_kl(benchmark, graph_cache, results_dir):
+    rows = benchmark.pedantic(
+        run_table5, args=(graph_cache, results_dir), rounds=1, iterations=1
+    )
+    assert len(rows) == len(GRAPHS)

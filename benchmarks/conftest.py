@@ -1,0 +1,61 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation (§7).  Conventions:
+
+- experiments run via ``benchmark.pedantic(fn, rounds=1, iterations=1)``
+  so ``pytest benchmarks/ --benchmark-only`` executes each experiment
+  exactly once and reports its wall time;
+- each experiment prints its paper-style table and writes it (plus a CSV)
+  under ``benchmarks/results/``;
+- graphs are the calibrated stand-ins from :mod:`repro.graphs.datasets`
+  (see DESIGN.md for the substitution rationale), cached per session;
+- shape assertions (who wins, direction of trends) are inside the
+  experiment functions — a bench run that contradicts the paper's
+  qualitative findings FAILS, mirroring EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.graphs import datasets
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+class _GraphCache:
+    """Session cache so multiple bench files share dataset builds."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, object] = {}
+
+    def load(self, name: str, *, seed: int = 0, weighted: bool = False):
+        key = (name, seed, weighted)
+        if key not in self._cache:
+            self._cache[key] = datasets.load(name, seed=seed, weighted=weighted)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def graph_cache() -> _GraphCache:
+    return _GraphCache()
+
+
+def emit(results_dir: Path, name: str, text: str, rows=None, headers=None) -> None:
+    """Print a table and persist it (txt always, csv when rows given)."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text)
+    if rows is not None and headers is not None:
+        from repro.analytics.report import write_csv
+
+        write_csv(rows, headers, results_dir / f"{name}.csv")

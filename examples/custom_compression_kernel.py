@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Writing your own compression kernel — the §4 programming model.
+
+The whole point of Slim Graph is that a new lossy compression scheme is a
+*small program*, not a new system.  This example implements a scheme that
+does not ship with the library:
+
+    "weak-tie sampling": delete an edge with probability p only when its
+    endpoints share no common neighbor (an open triangle / weak tie in
+    the Granovetter sense), so all community-internal edges survive.
+
+It needs ~10 lines: an EdgeKernel subclass.  The engine gives every kernel
+instance a local view (the edge + endpoint degrees/neighborhoods) and the
+shared SG container for parameters, RNG, and deletion intents — exactly
+Listing 1's shape.  We then run it through the standard runtime and
+analytics, like any built-in scheme.
+
+Run:  python examples/custom_compression_kernel.py
+"""
+
+import numpy as np
+
+from repro import SG, datasets, run_kernels
+from repro.algorithms import connected_components, count_triangles
+from repro.core.kernels import EdgeKernel
+
+
+class WeakTieSampling(EdgeKernel):
+    """Delete weak ties (edges closing no triangle) with probability p."""
+
+    name = "weak_tie_sampling"
+
+    def __call__(self, e, sg) -> None:
+        g = sg.graph
+        u, v = e.u.id, e.v.id
+        # Local view: sorted neighbor rows -> one intersection test.
+        common = np.intersect1d(g.neighbors(u), g.neighbors(v), assume_unique=True)
+        if len(common) == 0 and sg.rand() < sg.p:
+            sg.delete(e)
+
+
+def main() -> None:
+    graph = datasets.load("l-dbl", seed=0)  # collaboration graph: cliques + ties
+    print(f"input: {graph}, triangles={count_triangles(graph)}")
+
+    sg = SG(graph, {"p": 0.9}, seed=1)
+    sweep = run_kernels(graph, WeakTieSampling(), sg, backend="chunked", seed=1)
+    compressed = sg.buffer.apply(graph)
+
+    print(f"kernel instances run : {sweep.num_instances}")
+    print(f"weak ties deleted    : {sweep.num_deleted_edges} "
+          f"({sweep.num_deleted_edges / graph.num_edges:.1%} of edges)")
+
+    # The invariant our kernel was designed for: every triangle is intact.
+    assert count_triangles(compressed) == count_triangles(graph)
+    print("triangle count       : preserved exactly (by construction)")
+
+    cc0 = connected_components(graph).num_components
+    cc1 = connected_components(compressed).num_components
+    print(f"connected components : {cc0} -> {cc1} "
+          "(weak ties were bridges: expect some splits)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Approximate PageRank over a compressed web crawl, with error analysis.
+
+The motivating workload of the paper's introduction: PageRank on web
+graphs so large that a run takes minutes on a top-10 supercomputer.  Here
+we compress a web-crawl stand-in at several budgets and chart the §5
+accuracy metrics against the storage saved — the Table 5 methodology as a
+library call, including the divergence-selection comparison (KL vs the
+alternatives the paper surveyed).
+
+Run:  python examples/web_pagerank_approximation.py
+"""
+
+from repro import datasets, make_scheme, pagerank
+from repro.analytics.report import format_table
+from repro.metrics.divergences import all_divergences
+from repro.metrics.ordering import reordered_neighbor_pairs
+
+
+def main() -> None:
+    web = datasets.load("h-wen", seed=0)
+    print(f"web crawl stand-in: {web}\n")
+    pr0 = pagerank(web).ranks
+
+    rows = []
+    for spec in [
+        "spectral(p=0.5)",
+        "spectral(p=0.1)",
+        "uniform(p=0.5)",
+        "uniform(p=0.1)",
+        "spanner(k=8)",
+    ]:
+        result = make_scheme(spec).compress(web, seed=1)
+        pr1 = pagerank(result.graph).ranks
+        div = all_divergences(pr0, pr1)
+        flipped = reordered_neighbor_pairs(web, pr0, pr1)
+        rows.append(
+            [
+                spec,
+                result.compression_ratio,
+                div["kl"],
+                div["js"],
+                div["total_variation"],
+                flipped,
+            ]
+        )
+
+    print(
+        format_table(
+            rows,
+            ["scheme", "kept", "KL", "JS", "TV", "reordered_pairs"],
+            title="PageRank accuracy vs storage (Table 5 methodology)",
+        )
+    )
+    print(
+        "KL is the paper's pick (§5: the only divergence that is both an\n"
+        "f-divergence and a Bregman divergence); JS/TV shown for the\n"
+        "selection comparison.  Note spectral at equal budget keeps KL\n"
+        "lower than uniform — the spectrum-preserving sampling at work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""repro — Slim Graph: practical lossy graph compression (SC'19 reproduction).
+
+The public API mirrors the paper's three-part architecture:
+
+- **Programming model** (:mod:`repro.core`): compression kernels over
+  vertices, edges, triangles and subgraphs; the ``SG`` container; the
+  parallel execution engine and the Listing-2 runtime.
+- **Compression schemes** (:mod:`repro.compress`): uniform sampling,
+  spectral sparsifiers, Triangle Reduction (all variants), spanners, lossy
+  summarization, plus the cut-sparsifier and low-rank baselines.
+- **Analytics** (:mod:`repro.metrics`, :mod:`repro.analytics`): KL and
+  other divergences, reordered-pair counts, BFS critical edges, degree
+  distributions, and the scheme×algorithm evaluation harness.
+
+Substrates: :mod:`repro.graphs` (CSR core + generators + datasets),
+:mod:`repro.algorithms` (the GAPBS stand-in), :mod:`repro.distributed`
+(simulated MPI-RMA pipeline), :mod:`repro.theory` (Table 3 bounds).
+
+Quickstart
+----------
+>>> from repro import datasets, make_scheme, pagerank, kl_divergence
+>>> g = datasets.load("s-pok", seed=0)
+>>> result = make_scheme("spanner(k=8)").compress(g, seed=1)
+>>> kl = kl_divergence(pagerank(g).ranks, pagerank(result.graph).ranks)
+"""
+
+from repro.graphs import CSRGraph, GraphBuilder, generators, datasets
+from repro.compress import (
+    CompressionResult,
+    CompressionScheme,
+    RandomUniformSampling,
+    SpectralSparsifier,
+    TriangleReduction,
+    Spanner,
+    LossySummarization,
+    LowDegreeVertexRemoval,
+    CutSparsifier,
+    ClusteredLowRankApproximation,
+    make_scheme,
+)
+from repro.core import (
+    SG,
+    SlimGraphRuntime,
+    Pipeline,
+    run_kernels,
+    VertexKernel,
+    EdgeKernel,
+    TriangleKernel,
+    SubgraphKernel,
+)
+from repro.algorithms import (
+    bfs,
+    connected_components,
+    pagerank,
+    count_triangles,
+    sssp,
+    dijkstra,
+    minimum_spanning_forest,
+    betweenness_centrality,
+    greedy_matching,
+    greedy_coloring,
+)
+from repro.metrics import (
+    kl_divergence,
+    reordered_pairs_fraction,
+    reordered_neighbor_pairs,
+    critical_edge_preservation,
+)
+from repro.analytics import evaluate_scheme, sweep
+from repro import theory
+from repro import distributed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "generators",
+    "datasets",
+    "CompressionResult",
+    "CompressionScheme",
+    "RandomUniformSampling",
+    "SpectralSparsifier",
+    "TriangleReduction",
+    "Spanner",
+    "LossySummarization",
+    "LowDegreeVertexRemoval",
+    "CutSparsifier",
+    "ClusteredLowRankApproximation",
+    "make_scheme",
+    "SG",
+    "SlimGraphRuntime",
+    "Pipeline",
+    "run_kernels",
+    "VertexKernel",
+    "EdgeKernel",
+    "TriangleKernel",
+    "SubgraphKernel",
+    "bfs",
+    "connected_components",
+    "pagerank",
+    "count_triangles",
+    "sssp",
+    "dijkstra",
+    "minimum_spanning_forest",
+    "betweenness_centrality",
+    "greedy_matching",
+    "greedy_coloring",
+    "kl_divergence",
+    "reordered_pairs_fraction",
+    "reordered_neighbor_pairs",
+    "critical_edge_preservation",
+    "evaluate_scheme",
+    "sweep",
+    "theory",
+    "distributed",
+    "__version__",
+]

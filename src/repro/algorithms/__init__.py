@@ -1,0 +1,84 @@
+"""Graph-algorithm substrate (the GAPBS stand-in).
+
+Every algorithm the paper's evaluation runs over compressed graphs: BFS,
+SSSP, PageRank, Connected Components, Triangle Counting, Betweenness
+Centrality, MST, matchings, coloring, independent sets, k-cores, path
+statistics, and graph spectra.
+"""
+
+from repro.algorithms.bfs import BFSResult, bfs
+from repro.algorithms.components import ComponentsResult, connected_components, largest_component
+from repro.algorithms.pagerank import PageRankResult, pagerank
+from repro.algorithms.triangles import (
+    TriangleList,
+    list_triangles,
+    count_triangles,
+    triangles_per_vertex,
+    edge_triangle_counts,
+    approx_count_doulion,
+    approx_count_wedge_sampling,
+)
+from repro.algorithms.sssp import SSSPResult, dijkstra, delta_stepping, sssp
+from repro.algorithms.mst import MSTResult, kruskal, boruvka, minimum_spanning_forest
+from repro.algorithms.matching import MatchingResult, greedy_matching, maximum_matching_size
+from repro.algorithms.coloring import ColoringResult, greedy_coloring, coloring_number
+from repro.algorithms.independent_set import greedy_mis, luby_mis
+from repro.algorithms.kcore import CoreResult, core_numbers, degeneracy_ordering
+from repro.algorithms.paths import PathStats, path_length_stats, pairwise_distance, exact_diameter
+from repro.algorithms.betweenness import betweenness_centrality
+from repro.algorithms.spectrum import (
+    laplacian,
+    laplacian_eigenvalues,
+    spectral_distance,
+    quadratic_form,
+    quadratic_form_ratio_bounds,
+)
+from repro.algorithms.arboricity import ArboricityEstimate, estimate_arboricity
+
+__all__ = [
+    "BFSResult",
+    "bfs",
+    "ComponentsResult",
+    "connected_components",
+    "largest_component",
+    "PageRankResult",
+    "pagerank",
+    "TriangleList",
+    "list_triangles",
+    "count_triangles",
+    "triangles_per_vertex",
+    "edge_triangle_counts",
+    "approx_count_doulion",
+    "approx_count_wedge_sampling",
+    "SSSPResult",
+    "dijkstra",
+    "delta_stepping",
+    "sssp",
+    "MSTResult",
+    "kruskal",
+    "boruvka",
+    "minimum_spanning_forest",
+    "MatchingResult",
+    "greedy_matching",
+    "maximum_matching_size",
+    "ColoringResult",
+    "greedy_coloring",
+    "coloring_number",
+    "greedy_mis",
+    "luby_mis",
+    "CoreResult",
+    "core_numbers",
+    "degeneracy_ordering",
+    "PathStats",
+    "path_length_stats",
+    "pairwise_distance",
+    "exact_diameter",
+    "betweenness_centrality",
+    "laplacian",
+    "laplacian_eigenvalues",
+    "spectral_distance",
+    "quadratic_form",
+    "quadratic_form_ratio_bounds",
+    "ArboricityEstimate",
+    "estimate_arboricity",
+]

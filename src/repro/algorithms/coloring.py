@@ -1,0 +1,79 @@
+"""Greedy vertex coloring and the coloring number.
+
+§6.1 analyzes how compression affects the *coloring number* — the fewest
+colors greedy coloring attains over all vertex orderings.  That optimum is
+achieved by the reverse degeneracy order and equals degeneracy + 1, so
+:func:`coloring_number` peels first and colors second.  Arbitrary orderings
+are supported for the "some predetermined ordering" experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.algorithms.kcore import core_numbers
+from repro.utils.rng import as_generator
+
+__all__ = ["ColoringResult", "greedy_coloring", "coloring_number"]
+
+
+@dataclass(frozen=True)
+class ColoringResult:
+    colors: np.ndarray
+    num_colors: int
+
+    def is_proper(self, g: CSRGraph) -> bool:
+        return bool(np.all(self.colors[g.edge_src] != self.colors[g.edge_dst]))
+
+
+def greedy_coloring(g: CSRGraph, order=None, *, seed=None) -> ColoringResult:
+    """First-fit coloring in the given vertex order.
+
+    ``order`` may be an explicit permutation, ``"degeneracy"`` (reverse
+    peeling order — optimal for the coloring number), ``"degree"``
+    (descending), ``"random"``, or ``None`` (vertex id order).
+    """
+    if g.directed:
+        raise ValueError("coloring expects an undirected graph")
+    n = g.n
+    if order is None or (isinstance(order, str) and order == "id"):
+        sequence = np.arange(n, dtype=np.int64)
+    elif isinstance(order, str):
+        if order == "degeneracy":
+            sequence = core_numbers(g).order[::-1]
+        elif order == "degree":
+            sequence = np.argsort(-g.degrees, kind="stable")
+        elif order == "random":
+            sequence = as_generator(seed).permutation(n)
+        else:
+            raise ValueError(f"unknown order {order!r}")
+    else:
+        sequence = np.asarray(order, dtype=np.int64)
+        if sorted(sequence.tolist()) != list(range(n)):
+            raise ValueError("order must be a permutation of all vertices")
+    colors = np.full(n, -1, dtype=np.int64)
+    for v in sequence:
+        used = colors[g.neighbors(v)]
+        used = used[used >= 0]
+        if len(used) == 0:
+            colors[v] = 0
+            continue
+        used = np.unique(used)
+        # Smallest color not in `used`: first gap in the sorted array.
+        gap = np.flatnonzero(used != np.arange(len(used)))
+        colors[v] = int(gap[0]) if len(gap) else len(used)
+    return ColoringResult(colors=colors, num_colors=int(colors.max()) + 1 if n else 0)
+
+
+def coloring_number(g: CSRGraph) -> int:
+    """The coloring number C_G (best greedy over orderings) = degeneracy + 1.
+
+    The paper uses α ≤ C_G ≤ 2α (arboricity sandwich, §6.1); this returns
+    the exact combinatorial quantity, not a greedy-run color count.
+    """
+    if g.n == 0:
+        return 0
+    return core_numbers(g).degeneracy + 1

@@ -1,0 +1,82 @@
+"""PageRank by power iteration.
+
+PageRank is the paper's canonical "output is a probability distribution"
+algorithm: Table 5 compares PageRank distributions on original vs
+compressed graphs with the Kullback-Leibler divergence.  The returned rank
+vector always sums to 1 (dangling mass is redistributed uniformly), so it
+can be fed to :mod:`repro.metrics.divergences` directly.
+
+The iteration is one sparse matvec per round (scipy CSR), i.e. Θ(m) work
+per iteration — the same scaling as the paper's substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["PageRankResult", "pagerank"]
+
+
+@dataclass(frozen=True)
+class PageRankResult:
+    ranks: np.ndarray
+    iterations: int
+    converged: bool
+
+    def top(self, k: int = 10) -> np.ndarray:
+        """Vertex ids of the k highest-ranked vertices (descending)."""
+        order = np.argsort(-self.ranks, kind="stable")
+        return order[:k]
+
+
+def pagerank(
+    g: CSRGraph,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+    weighted: bool = False,
+) -> PageRankResult:
+    """Power-iteration PageRank.
+
+    Parameters
+    ----------
+    damping:
+        Teleport parameter α (paper/Brin-Page default 0.85).
+    tol:
+        L1 convergence threshold between successive rank vectors.
+    weighted:
+        Distribute rank proportionally to edge weights instead of uniformly
+        over out-neighbors.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+    n = g.n
+    if n == 0:
+        return PageRankResult(ranks=np.empty(0), iterations=0, converged=True)
+
+    adj = g.to_scipy()
+    if not weighted and g.is_weighted:
+        adj = adj.copy()
+        adj.data[:] = 1.0
+    out_strength = np.asarray(adj.sum(axis=1)).ravel()
+    dangling = out_strength == 0
+    inv_out = np.zeros(n)
+    inv_out[~dangling] = 1.0 / out_strength[~dangling]
+    # Row-normalized transition matrix, transposed once for fast matvec.
+    P_T = adj.multiply(inv_out[:, None]).tocsc().T.tocsr()
+
+    r = np.full(n, 1.0 / n)
+    base = (1.0 - damping) / n
+    for it in range(1, max_iterations + 1):
+        dangling_mass = damping * r[dangling].sum() / n
+        new = base + dangling_mass + damping * P_T.dot(r)
+        delta = np.abs(new - r).sum()
+        r = new
+        if delta < tol:
+            return PageRankResult(ranks=r, iterations=it, converged=True)
+    return PageRankResult(ranks=r, iterations=max_iterations, converged=False)

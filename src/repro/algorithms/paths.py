@@ -1,0 +1,109 @@
+"""Path-length statistics: shortest-path lengths, average path length,
+diameter.
+
+Table 3 tracks shortest s-t path length P, average path length P̄, and
+diameter D under every compression scheme.  Exact all-pairs is Θ(nm), so
+medium/large graphs use the standard sampled estimators (the paper's own
+evaluation relies on sampled roots as well).  All statistics are computed
+over *reachable* pairs only, with the number of unreachable pairs reported
+separately — uniform sampling can disconnect graphs, which Table 3 models
+as infinite/unbounded path lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.algorithms.bfs import bfs
+from repro.algorithms.sssp import dijkstra
+from repro.utils.rng import as_generator
+
+__all__ = ["PathStats", "path_length_stats", "pairwise_distance", "exact_diameter"]
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Sampled (or exact) path-length statistics.
+
+    ``eccentricity_max`` is a lower bound on the diameter when sampled and
+    the exact diameter when ``exact=True`` was used on a connected graph.
+    """
+
+    average_length: float
+    eccentricity_max: float
+    num_sources: int
+    unreachable_pairs: int
+
+    @property
+    def diameter_lower_bound(self) -> float:
+        return self.eccentricity_max
+
+
+def pairwise_distance(g: CSRGraph, u: int, v: int) -> float:
+    """Shortest-path distance between two vertices (inf if disconnected)."""
+    if g.is_weighted:
+        return float(dijkstra(g, u).distance[v])
+    lvl = bfs(g, u).level[v]
+    return float(lvl) if lvl >= 0 else float("inf")
+
+
+def path_length_stats(
+    g: CSRGraph,
+    *,
+    num_sources: int | None = 32,
+    seed=None,
+    weighted: bool | None = None,
+) -> PathStats:
+    """Average path length + max eccentricity from sampled BFS/SSSP roots.
+
+    ``num_sources=None`` runs every vertex as a source (exact, Θ(nm)).
+    Unweighted graphs use hop counts; weighted graphs use Dijkstra unless
+    ``weighted=False`` forces hops.
+    """
+    if g.n == 0:
+        return PathStats(0.0, 0.0, 0, 0)
+    rng = as_generator(seed)
+    if num_sources is None or num_sources >= g.n:
+        sources = np.arange(g.n, dtype=np.int64)
+    else:
+        sources = rng.choice(g.n, size=num_sources, replace=False)
+    use_weights = g.is_weighted if weighted is None else (weighted and g.is_weighted)
+    total = 0.0
+    count = 0
+    unreachable = 0
+    ecc_max = 0.0
+    for s in sources:
+        if use_weights:
+            dist = dijkstra(g, int(s)).distance
+            finite = np.isfinite(dist)
+            dist_f = dist[finite]
+        else:
+            lvl = bfs(g, int(s)).level
+            finite = lvl >= 0
+            dist_f = lvl[finite].astype(np.float64)
+        # Exclude the trivial s->s pair.
+        reached = len(dist_f) - 1
+        unreachable += g.n - 1 - reached
+        if reached > 0:
+            total += float(dist_f.sum())
+            count += reached
+            ecc_max = max(ecc_max, float(dist_f.max()))
+    avg = total / count if count else float("inf")
+    return PathStats(
+        average_length=avg,
+        eccentricity_max=ecc_max,
+        num_sources=len(sources),
+        unreachable_pairs=int(unreachable),
+    )
+
+
+def exact_diameter(g: CSRGraph) -> float:
+    """Exact diameter of the (largest piece of the) graph via all-source
+    sweeps; infinite if the graph is disconnected."""
+    stats = path_length_stats(g, num_sources=None)
+    if stats.unreachable_pairs > 0:
+        return float("inf")
+    return stats.eccentricity_max

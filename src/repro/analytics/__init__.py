@@ -1,0 +1,28 @@
+"""Analytics subsystem: evaluation harness, sweeps, report rendering."""
+
+from repro.analytics.evaluation import (
+    AlgorithmSpec,
+    EvaluationRecord,
+    evaluate_scheme,
+    default_algorithms,
+)
+from repro.analytics.tradeoff import SweepRow, sweep
+from repro.analytics.report import format_table, write_csv
+from repro.analytics.guidance import Recommendation, recommend, PRESERVABLE_PROPERTIES
+from repro.analytics.storage import StorageReport, storage_report
+
+__all__ = [
+    "Recommendation",
+    "recommend",
+    "PRESERVABLE_PROPERTIES",
+    "StorageReport",
+    "storage_report",
+    "AlgorithmSpec",
+    "EvaluationRecord",
+    "evaluate_scheme",
+    "default_algorithms",
+    "SweepRow",
+    "sweep",
+    "format_table",
+    "write_csv",
+]

@@ -1,0 +1,164 @@
+"""The analytics subsystem (§3.3): scheme × algorithm × metric harness.
+
+Routes each algorithm's output class to the right §5 metric:
+
+- *scalar* outputs (CC count, MST weight, triangle count, matching size)
+  → relative change;
+- *distribution* outputs (PageRank) → Kullback–Leibler divergence;
+- *vector* outputs (betweenness, triangles per vertex) → reordered
+  neighbor pairs;
+- *BFS* → critical-edge preservation.
+
+``evaluate_scheme`` runs the whole battery and returns one record per
+algorithm — the rows behind Tables 5/6 and the §7.2 narrative.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.metrics.bfs_quality import critical_edge_preservation
+from repro.metrics.divergences import kl_divergence
+from repro.metrics.ordering import reordered_neighbor_pairs
+from repro.metrics.scalars import relative_change
+
+__all__ = ["AlgorithmSpec", "EvaluationRecord", "evaluate_scheme", "default_algorithms"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """An algorithm plus the metric class its output belongs to.
+
+    ``kind`` ∈ {"scalar", "distribution", "vector", "bfs"} decides the
+    accuracy metric; ``fn`` maps a graph to the output (for "bfs" the
+    output is ignored — the metric runs its own traversals).
+    """
+
+    name: str
+    fn: Callable[[CSRGraph], object]
+    kind: str
+
+
+@dataclass
+class EvaluationRecord:
+    algorithm: str
+    kind: str
+    metric_name: str
+    metric_value: float
+    original_seconds: float
+    compressed_seconds: float
+    original_value: object = field(default=None, repr=False)
+    compressed_value: object = field(default=None, repr=False)
+
+    @property
+    def relative_runtime_difference(self) -> float:
+        t0 = self.original_seconds
+        return (t0 - self.compressed_seconds) / t0 if t0 > 0 else 0.0
+
+
+def default_algorithms(*, bfs_root: int = 0, pr_iterations: int = 100) -> list[AlgorithmSpec]:
+    """The Fig. 5 battery: BFS, CC, PR, TC (+ per-vertex TC vector)."""
+    from repro.algorithms.components import connected_components
+    from repro.algorithms.pagerank import pagerank
+    from repro.algorithms.triangles import count_triangles, triangles_per_vertex
+
+    return [
+        AlgorithmSpec("bfs", lambda g: bfs_root, "bfs"),
+        AlgorithmSpec(
+            "cc", lambda g: connected_components(g).num_components, "scalar"
+        ),
+        AlgorithmSpec(
+            "pr",
+            lambda g: pagerank(g, max_iterations=pr_iterations).ranks,
+            "distribution",
+        ),
+        AlgorithmSpec("tc", lambda g: count_triangles(g), "scalar"),
+        AlgorithmSpec("tc_per_vertex", triangles_per_vertex, "vector"),
+    ]
+
+
+def _timed(fn, g):
+    start = time.perf_counter()
+    out = fn(g)
+    return out, time.perf_counter() - start
+
+
+def evaluate_scheme(
+    g: CSRGraph,
+    scheme,
+    algorithms: list[AlgorithmSpec] | None = None,
+    *,
+    seed=None,
+    bfs_root: int = 0,
+) -> tuple[list[EvaluationRecord], CSRGraph]:
+    """Compress ``g`` with ``scheme`` and run the metric battery.
+
+    Returns (records, compressed_graph).  Vector metrics are evaluated on
+    the original adjacency so all schemes are compared over the same pair
+    population (§5's caveat).
+    """
+    algorithms = algorithms if algorithms is not None else default_algorithms(bfs_root=bfs_root)
+    result = scheme.compress(g, seed=seed)
+    compressed = result.graph
+    records: list[EvaluationRecord] = []
+    for spec in algorithms:
+        if spec.kind == "bfs":
+            t0 = time.perf_counter()
+            value = critical_edge_preservation(g, compressed, bfs_root)
+            elapsed = time.perf_counter() - t0
+            records.append(
+                EvaluationRecord(
+                    algorithm=spec.name,
+                    kind=spec.kind,
+                    metric_name="critical_edge_preservation",
+                    metric_value=float(value),
+                    original_seconds=elapsed / 2,
+                    compressed_seconds=elapsed / 2,
+                )
+            )
+            continue
+        out0, t0 = _timed(spec.fn, g)
+        out1, t1 = _timed(spec.fn, compressed)
+        if spec.kind == "scalar":
+            metric_name = "relative_change"
+            metric_value = relative_change(float(out0), float(out1))
+        elif spec.kind == "distribution":
+            metric_name = "kl_divergence"
+            metric_value = kl_divergence(np.asarray(out0), _pad(np.asarray(out1), len(out0)))
+        elif spec.kind == "vector":
+            metric_name = "reordered_neighbor_pairs"
+            metric_value = reordered_neighbor_pairs(
+                g, np.asarray(out0, dtype=float), _pad(np.asarray(out1, dtype=float), len(out0))
+            )
+        else:
+            raise ValueError(f"unknown algorithm kind {spec.kind!r}")
+        records.append(
+            EvaluationRecord(
+                algorithm=spec.name,
+                kind=spec.kind,
+                metric_name=metric_name,
+                metric_value=float(metric_value),
+                original_seconds=t0,
+                compressed_seconds=t1,
+                original_value=out0,
+                compressed_value=out1,
+            )
+        )
+    return records, compressed
+
+
+def _pad(x: np.ndarray, n: int) -> np.ndarray:
+    """Pad per-vertex vectors with zeros when compression dropped vertices
+    (triangle collapse); keeps positional comparability."""
+    if len(x) == n:
+        return x
+    if len(x) > n:
+        raise ValueError("compressed output longer than original")
+    out = np.zeros(n, dtype=x.dtype)
+    out[: len(x)] = x
+    return out

@@ -1,0 +1,53 @@
+"""Tabular report rendering for the benchmark harness.
+
+Formats experiment rows into the fixed-width tables the benchmark scripts
+print (one per paper table/figure) and optionally CSV for downstream
+plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "write_csv"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Iterable[Sequence], headers: Sequence[str], *, title: str | None = None) -> str:
+    """Fixed-width ASCII table (paper-style rows)."""
+    rendered = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "-" * len(line)
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(line + "\n")
+    out.write(sep + "\n")
+    for row in rendered:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def write_csv(rows: Iterable[Sequence], headers: Sequence[str], path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(headers)
+        writer.writerows(rows)

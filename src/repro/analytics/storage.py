@@ -1,0 +1,68 @@
+"""Storage-reduction accounting (the paper's title claim).
+
+The abstract's headline: distributed compression reduced the Web Data
+Commons graph "by 30-70%".  This module measures exactly that quantity
+for any compression result, in *bytes of the stored representation*
+rather than raw edge counts, because schemes differ in overhead:
+
+- edge-deleting schemes store fewer edges, but spectral/cut sparsifiers
+  add an 8-byte weight per surviving edge (the 1/p reweighting);
+- summarization stores superedges + corrections + the supervertex
+  mapping instead of edges;
+- vertex-removing schemes also shrink the offset arrays.
+
+``storage_report`` returns both the byte sizes and the reduction
+fraction, so the §7.3 claim can be asserted against the same accounting
+the paper's storage numbers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compress.base import CompressionResult
+from repro.graphs.edgelist import storage_bytes
+
+__all__ = ["StorageReport", "storage_report"]
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Bytes before/after compression, with scheme-specific overheads."""
+
+    scheme: str
+    original_bytes: int
+    compressed_bytes: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of storage saved (the abstract's 30–70% number)."""
+        if self.original_bytes == 0:
+            return 0.0
+        return 1.0 - self.compressed_bytes / self.original_bytes
+
+    @property
+    def ratio(self) -> float:
+        return 1.0 - self.reduction
+
+
+def storage_report(result: CompressionResult) -> StorageReport:
+    """Measure the stored-bytes reduction of a compression result.
+
+    Summaries are charged their own encoding (mapping + superedges +
+    corrections) rather than the decompressed graph; everything else is
+    charged the CSR representation of the compressed graph, including
+    any weights the scheme added.
+    """
+    original = storage_bytes(result.original)
+    summary = result.extras.get("summary")
+    if summary is not None:
+        # int64 mapping + two int64 endpoints per stored pair.
+        compressed = summary.mapping.nbytes + 16 * summary.storage_edges()
+    else:
+        compressed = storage_bytes(result.graph)
+    return StorageReport(
+        scheme=result.scheme,
+        original_bytes=int(original),
+        compressed_bytes=int(compressed),
+    )

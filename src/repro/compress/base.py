@@ -1,0 +1,124 @@
+"""Compression-scheme interface.
+
+Every lossy compression scheme in the library is a
+:class:`CompressionScheme` with **two interchangeable implementations**:
+
+- ``compress`` — a vectorized fast path (NumPy over the whole edge /
+  triangle set at once), used by benchmarks;
+- ``make_kernel`` (+ optional ``mapping_fn``) — the compression-kernel
+  program exactly as the paper's programming model expresses it, executed
+  by :class:`~repro.core.runtime.SlimGraphRuntime`.
+
+``compress_via_kernels`` runs the kernel path; the test suite checks that
+both paths agree (exactly where the random-draw order matches, otherwise
+distributionally), which is the strongest evidence that the programming
+model of §4 really expresses these schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["CompressionResult", "CompressionScheme"]
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """A compressed graph plus provenance.
+
+    ``extras`` carries scheme-specific artifacts (spanner cluster mapping,
+    summarization corrections, low-rank factors, …).
+    """
+
+    graph: CSRGraph
+    original: CSRGraph
+    scheme: str
+    params: dict
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Edges remaining / edges original — the paper's ratio axis."""
+        m = self.original.num_edges
+        return self.graph.num_edges / m if m else 1.0
+
+    @property
+    def edge_reduction(self) -> float:
+        """Fraction of edges removed (Fig. 6 y-axis)."""
+        return 1.0 - self.compression_ratio
+
+    @property
+    def edges_removed(self) -> int:
+        return self.original.num_edges - self.graph.num_edges
+
+
+class CompressionScheme:
+    """Base class for lossy compression schemes (Table 2 rows)."""
+
+    name: str = "scheme"
+
+    # -- fast path ------------------------------------------------------- #
+
+    def compress(self, g: CSRGraph, *, seed=None) -> CompressionResult:
+        """Vectorized compression; subclasses must implement."""
+        raise NotImplementedError
+
+    # -- kernel path ------------------------------------------------------ #
+
+    def make_kernel(self):
+        """The compression-kernel program for this scheme (or None if the
+        scheme is not expressible as a single kernel, e.g. low-rank)."""
+        return None
+
+    def mapping_fn(self):
+        """Vertex→cluster mapping builder for subgraph kernels (§4.5.2)."""
+        return None
+
+    def kernel_params(self) -> dict:
+        """Parameters stored into SG for the kernel path."""
+        return dict(self.params())
+
+    def params(self) -> dict:
+        """The scheme's parameter dictionary (for reports)."""
+        return {}
+
+    def compress_via_kernels(
+        self,
+        g: CSRGraph,
+        *,
+        seed=None,
+        backend: str = "serial",
+        num_chunks: int | None = None,
+    ) -> CompressionResult:
+        """Compress by actually executing the kernel program."""
+        kernel = self.make_kernel()
+        if kernel is None:
+            raise NotImplementedError(f"{self.name} has no kernel program")
+        from repro.core.runtime import SlimGraphRuntime
+
+        runtime = SlimGraphRuntime(
+            kernel,
+            mapping_fn=self.mapping_fn(),
+            params=self.kernel_params(),
+            backend=backend,
+            num_chunks=num_chunks,
+        )
+        result = runtime.run(g, seed=seed)
+        return CompressionResult(
+            graph=result.graph,
+            original=g,
+            scheme=self.name + "+kernels",
+            params=self.params(),
+            extras={"rounds": result.rounds},
+        )
+
+    def __call__(self, g: CSRGraph, *, seed=None) -> CSRGraph:
+        """Convenience: scheme(graph) -> compressed graph."""
+        return self.compress(g, seed=seed).graph
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{type(self).__name__}({args})"

@@ -1,0 +1,205 @@
+"""Vertex→subgraph mappings (§4.5.2).
+
+Subgraph compression schemes first decompose the graph into disjoint
+clusters; the paper singles out two mappings:
+
+- :func:`low_diameter_decomposition` — Miller–Peng–Xu exponential-shift
+  decomposition (O(n + m) work): every vertex draws a shift δ_v ~ Exp(β)
+  and joins the cluster of the center u minimizing dist(u, v) − δ_u.
+  Cluster (strong) diameter is O(log n / β) w.h.p. and only a β fraction of
+  edges cross clusters in expectation.  Used for spanners: β = ln(n)/k
+  gives the O(k)-spanner of §4.5.3.
+- :func:`jaccard_minhash_clustering` — SWeG-style grouping: vertices with
+  equal minhash signatures of their neighborhoods are candidates, then
+  groups are refined with exact generalized-Jaccard similarity.  Used for
+  lossy summarization (§4.5.4).
+
+Both return an ``int64`` array of cluster ids, compacted to ``0..C-1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "low_diameter_decomposition",
+    "jaccard_minhash_clustering",
+    "LDDResult",
+    "jaccard_similarity",
+]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LDDResult:
+    """Clusters plus the shortest-path-tree edges that realize them.
+
+    ``parent_edge_ids`` holds, for every non-center vertex, the canonical
+    edge id linking it to its BFS parent inside the cluster — exactly the
+    intra-cluster spanning trees the spanner kernel needs.
+    """
+
+    mapping: np.ndarray
+    centers: np.ndarray
+    parent_edge_ids: np.ndarray  # -1 for centers / isolated vertices
+    num_clusters: int
+
+
+def low_diameter_decomposition(
+    g: CSRGraph, beta: float, *, seed=None, weighted: bool = False
+) -> LDDResult:
+    """Exponential-shift LDD (Miller, Peng, Xu [111]).
+
+    Implemented as one Dijkstra pass from a virtual super-source where
+    every vertex v is seeded at start time ``δ_max − δ_v``: the first
+    settled "wave" to reach a vertex claims it, which realizes
+    argmin_u (dist(u, v) − δ_u) without n BFS runs.
+
+    ``weighted=True`` grows the waves along edge *weights* instead of hop
+    counts; the per-cluster trees then become weighted shortest-path
+    trees, which is what lets spanners preserve weighted SSSP lengths
+    (§7.2's "spanners best preserve lengths of shortest paths").  The
+    shift scale is multiplied by the mean edge weight so β keeps its
+    hop-space meaning.
+    """
+    if beta <= 0:
+        raise ValueError(f"beta must be > 0, got {beta}")
+    rng = as_generator(seed)
+    n = g.n
+    use_weights = weighted and g.is_weighted
+    scale = (
+        float(g.edge_weights.mean()) if use_weights and g.num_edges else 1.0
+    )
+    shifts = rng.exponential(scale / beta, size=n)
+    start = shifts.max() - shifts if n else shifts
+    mapping = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    dist = np.full(n, np.inf)
+    heap: list[tuple[float, int, int, int]] = []
+    for v in range(n):
+        heapq.heappush(heap, (float(start[v]), v, v, -1))
+    while heap:
+        d, v, center, via_edge = heapq.heappop(heap)
+        if mapping[v] != -1:
+            continue
+        mapping[v] = center
+        parent_edge[v] = via_edge
+        dist[v] = d
+        row = g.neighbors(v)
+        eids = g.incident_edge_ids(v)
+        if use_weights:
+            wts = g.edge_weights[eids]
+        for i, (u, e) in enumerate(zip(row, eids)):
+            if mapping[u] == -1:
+                step = float(wts[i]) if use_weights else 1.0
+                heapq.heappush(heap, (d + step, int(u), center, int(e)))
+    # Centers are vertices whose own wave claimed them.
+    centers_mask = mapping == np.arange(n)
+    parent_edge[centers_mask] = -1
+    # Compact cluster ids.
+    uniq, compact = np.unique(mapping, return_inverse=True)
+    return LDDResult(
+        mapping=compact.astype(np.int64),
+        centers=uniq,
+        parent_edge_ids=parent_edge,
+        num_clusters=len(uniq),
+    )
+
+
+def beta_for_spanner(g: CSRGraph, k: float) -> float:
+    """The β that turns LDD into the O(k)-spanner of §4.5.3: β = ln(n)/k."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return math.log(max(g.n, 2)) / k
+
+
+def jaccard_similarity(g: CSRGraph, u: int, v: int) -> float:
+    """Jaccard similarity of the closed neighborhoods of u and v.
+
+    Closed (vertex included) so that adjacent similar vertices — the
+    common case in communities — score high, as in SWeG's generalized
+    Jaccard.
+    """
+    nu = np.union1d(g.neighbors(u), [u])
+    nv = np.union1d(g.neighbors(v), [v])
+    inter = len(np.intersect1d(nu, nv, assume_unique=True))
+    union = len(nu) + len(nv) - inter
+    return inter / union if union else 1.0
+
+
+def jaccard_minhash_clustering(
+    g: CSRGraph,
+    *,
+    threshold: float = 0.3,
+    max_cluster_size: int = 32,
+    num_hashes: int = 2,
+    seed=None,
+) -> np.ndarray:
+    """SWeG-style clustering: minhash candidate groups + exact refinement.
+
+    1. Each vertex gets a signature: the minimum of ``num_hashes`` random
+       permutations over its closed neighborhood (shingle step of SWeG).
+    2. Vertices sharing a signature form a candidate group.
+    3. Inside each group, vertices greedily join a supervertex if their
+       Jaccard similarity to the supervertex's seed is ≥ ``threshold``
+       and the supervertex stays under ``max_cluster_size``.
+
+    Returns compact cluster ids; unmerged vertices are singleton clusters.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+    rng = as_generator(seed)
+    n = g.n
+    cluster = np.arange(n, dtype=np.int64)
+    if n == 0:
+        return cluster
+    perms = [rng.permutation(n) for _ in range(num_hashes)]
+    sig_parts = np.empty((num_hashes, n), dtype=np.int64)
+    heads = np.repeat(np.arange(n), np.diff(g.indptr))
+    for h, perm in enumerate(perms):
+        # Open-neighborhood minhash (SWeG's shingle): vertices with equal
+        # neighborhoods — twins — get equal signatures by construction.
+        # Isolated vertices fall back to their own value.
+        sig = perm.copy()
+        has_nbr = g.degrees > 0
+        sig[has_nbr] = np.iinfo(np.int64).max
+        np.minimum.at(sig, heads, perm[g.indices])
+        sig_parts[h] = sig
+    # Combine hash parts into one group key.
+    signature = sig_parts[0]
+    for h in range(1, num_hashes):
+        signature = signature * np.int64(n) + sig_parts[h]
+    order = np.argsort(signature, kind="stable")
+    sig_sorted = signature[order]
+    boundaries = np.flatnonzero(np.diff(sig_sorted)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [n]])
+    for s, e in zip(starts, ends):
+        group = order[s:e]
+        if len(group) < 2:
+            continue
+        seeds: list[int] = []
+        sizes: dict[int, int] = {}
+        for v in group:
+            v = int(v)
+            joined = False
+            for sd in seeds:
+                if sizes[sd] >= max_cluster_size:
+                    continue
+                if jaccard_similarity(g, sd, v) >= threshold:
+                    cluster[v] = sd
+                    sizes[sd] += 1
+                    joined = True
+                    break
+            if not joined:
+                seeds.append(v)
+                sizes[v] = 1
+    uniq, compact = np.unique(cluster, return_inverse=True)
+    return compact.astype(np.int64)

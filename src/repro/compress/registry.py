@@ -1,0 +1,94 @@
+"""Name-based scheme construction.
+
+The benchmark harness and examples refer to schemes by the labels the
+paper's figures use (``"uniform(p=0.5)"``, ``"EO-0.8-1-TR"``,
+``"spanner(k=32)"``); this registry turns those strings into configured
+scheme objects.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.compress.base import CompressionScheme
+from repro.compress.cut_sparsifier import CutSparsifier
+from repro.compress.lowrank import ClusteredLowRankApproximation
+from repro.compress.sampling import RandomVertexSampling, RandomWalkSampling
+from repro.compress.spanner import Spanner
+from repro.compress.spectral import SpectralSparsifier
+from repro.compress.summarization import LossySummarization
+from repro.compress.triangle_reduction import TriangleReduction
+from repro.compress.uniform import RandomUniformSampling
+from repro.compress.vertex_filters import LowDegreeVertexRemoval
+
+__all__ = ["make_scheme", "SCHEME_FACTORIES"]
+
+SCHEME_FACTORIES = {
+    "uniform": RandomUniformSampling,
+    "spectral": SpectralSparsifier,
+    "tr": TriangleReduction,
+    "triangle_reduction": TriangleReduction,
+    "spanner": Spanner,
+    "summarization": LossySummarization,
+    "low_degree": LowDegreeVertexRemoval,
+    "cut_sparsifier": CutSparsifier,
+    "lowrank": ClusteredLowRankApproximation,
+    "vertex_sampling": RandomVertexSampling,
+    "random_walk_sampling": RandomWalkSampling,
+}
+
+# Paper-style TR labels: "0.5-1-TR", "EO-0.8-1-TR", "CT-0.5-1-TR".
+_TR_LABEL = re.compile(r"^(?:(EO|CT)-)?([0-9.]+)-([12])-TR$", re.IGNORECASE)
+
+
+def make_scheme(spec: str, **overrides) -> CompressionScheme:
+    """Construct a scheme from a paper-style label or ``name(key=value,…)``.
+
+    Examples
+    --------
+    >>> make_scheme("uniform(p=0.5)").p
+    0.5
+    >>> make_scheme("EO-0.8-1-TR").variant
+    'edge_once'
+    >>> make_scheme("spanner(k=32)").k
+    32.0
+    """
+    spec = spec.strip()
+    tr = _TR_LABEL.match(spec)
+    if tr:
+        prefix, p, x = tr.groups()
+        variant = {"EO": "edge_once", "CT": "count_triangles", None: "basic"}[
+            prefix.upper() if prefix else None
+        ]
+        return TriangleReduction(float(p), x=int(x), variant=variant, **overrides)
+    m = re.match(r"^(\w+)\s*(?:\((.*)\))?$", spec)
+    if not m:
+        raise ValueError(f"cannot parse scheme spec {spec!r}")
+    name, args = m.groups()
+    name = name.lower()
+    if name not in SCHEME_FACTORIES:
+        raise ValueError(f"unknown scheme {name!r}; known: {sorted(SCHEME_FACTORIES)}")
+    kwargs = dict(overrides)
+    if args:
+        for part in args.split(","):
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                parsed = int(value)
+            except ValueError:
+                try:
+                    parsed = float(value)
+                except ValueError:
+                    parsed = {"true": True, "false": False}.get(value.lower(), value)
+            kwargs[key] = parsed
+    factory = SCHEME_FACTORIES[name]
+    # First positional parameter by convention (p / epsilon / k / rank).
+    positional = {"uniform": "p", "spectral": "p", "tr": "p", "triangle_reduction": "p",
+                  "spanner": "k", "summarization": "epsilon", "cut_sparsifier": "epsilon",
+                  "lowrank": "rank", "vertex_sampling": "p",
+                  "random_walk_sampling": "target_fraction"}.get(name)
+    if positional and positional in kwargs:
+        first = kwargs.pop(positional)
+        return factory(first, **kwargs)
+    return factory(**kwargs)

@@ -1,0 +1,147 @@
+"""Graph sampling schemes (the "sampling" class of §2).
+
+The paper's taxonomy of lossy compression (§2) includes sampling
+[Hu & Lau; Leskovec & Faloutsos; Wang et al.] alongside sparsifiers and
+summaries, and §3.1's kernel taxonomy maps it to *vertex* kernels.  Two
+representative members:
+
+- :class:`RandomVertexSampling` — keep each vertex independently with
+  probability p; the induced subgraph is the sample.  Expressible as a
+  single vertex kernel (the Listing-1 style program ships alongside).
+- :class:`RandomWalkSampling` — run restarts of a random walk and keep
+  the visited vertices' induced subgraph; the classic
+  topology-preserving sampler (Leskovec–Faloutsos), used when the sample
+  must stay connected around seeds.  This one is inherently sequential,
+  so it has no kernel form — a documented example of the model's §4.7
+  expressiveness boundary.
+
+Both preserve vertex identities (non-members become isolated) unless
+``relabel=True``, mirroring the rest of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compress.base import CompressionResult, CompressionScheme
+from repro.core.kernels import VertexKernel
+from repro.graphs.csr import CSRGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["RandomVertexSampling", "RandomWalkSampling", "VertexSamplingKernel"]
+
+
+class VertexSamplingKernel(VertexKernel):
+    """Vertex kernel: delete the vertex (and its edges) w.p. 1 - p."""
+
+    name = "vertex_sampling"
+
+    def __call__(self, v, sg) -> None:
+        if sg.p < sg.rand():
+            sg.delete(v)
+
+
+class RandomVertexSampling(CompressionScheme):
+    """Induced-subgraph sampling: keep each vertex w.p. ``p``.
+
+    Edge survival probability is p² (both endpoints must survive), so the
+    expected edge reduction is steeper than uniform edge sampling at the
+    same p — the classic bias of vertex sampling the survey literature
+    warns about.
+    """
+
+    name = "vertex_sampling"
+
+    def __init__(self, p: float, *, relabel: bool = False):
+        self.p = check_probability(p, "p")
+        self.relabel = relabel
+
+    def params(self) -> dict:
+        return {"p": self.p, "relabel": self.relabel}
+
+    def compress(self, g: CSRGraph, *, seed=None) -> CompressionResult:
+        rng = as_generator(seed)
+        # One uniform per vertex in id order: bit-compatible with the
+        # serial kernel program.
+        r = rng.random(g.n)
+        drop = np.flatnonzero(r > self.p)
+        sub = g.remove_vertices(drop, relabel=self.relabel)
+        return CompressionResult(
+            graph=sub,
+            original=g,
+            scheme=self.name,
+            params=self.params(),
+            extras={"vertices_removed": int(len(drop))},
+        )
+
+    def make_kernel(self):
+        return VertexSamplingKernel()
+
+
+class RandomWalkSampling(CompressionScheme):
+    """Random-walk-with-restart sampling (Leskovec–Faloutsos "RW" family).
+
+    Walk from a random seed, restarting with probability ``restart_p``
+    (back to the seed) and re-seeding on dead ends, until
+    ``target_fraction`` of the vertices are visited; keep the induced
+    subgraph.  Preserves local structure around hubs far better than
+    independent vertex sampling, at the price of bias toward
+    high-degree regions.
+    """
+
+    name = "random_walk_sampling"
+
+    def __init__(
+        self,
+        target_fraction: float,
+        *,
+        restart_p: float = 0.15,
+        max_steps_factor: int = 100,
+        relabel: bool = False,
+    ):
+        self.target_fraction = check_probability(target_fraction, "target_fraction")
+        self.restart_p = check_probability(restart_p, "restart_p")
+        check_positive(max_steps_factor, "max_steps_factor")
+        self.max_steps_factor = max_steps_factor
+        self.relabel = relabel
+
+    def params(self) -> dict:
+        return {
+            "target_fraction": self.target_fraction,
+            "restart_p": self.restart_p,
+            "max_steps_factor": self.max_steps_factor,
+        }
+
+    def compress(self, g: CSRGraph, *, seed=None) -> CompressionResult:
+        rng = as_generator(seed)
+        target = int(np.ceil(self.target_fraction * g.n))
+        visited = np.zeros(g.n, dtype=bool)
+        num_visited = 0
+        steps = 0
+        budget = self.max_steps_factor * max(g.n, 1)
+        current = seed_vertex = int(rng.integers(0, g.n)) if g.n else 0
+        while num_visited < target and steps < budget and g.n:
+            steps += 1
+            if not visited[current]:
+                visited[current] = True
+                num_visited += 1
+            nbrs = g.neighbors(current)
+            if len(nbrs) == 0 or rng.random() < self.restart_p:
+                # Restart; re-seed to an unvisited vertex occasionally so
+                # disconnected graphs still reach the target.
+                if rng.random() < 0.5 and num_visited < g.n:
+                    unvisited = np.flatnonzero(~visited)
+                    seed_vertex = int(unvisited[rng.integers(0, len(unvisited))])
+                current = seed_vertex
+            else:
+                current = int(nbrs[rng.integers(0, len(nbrs))])
+        drop = np.flatnonzero(~visited)
+        sub = g.remove_vertices(drop, relabel=self.relabel)
+        return CompressionResult(
+            graph=sub,
+            original=g,
+            scheme=self.name,
+            params=self.params(),
+            extras={"vertices_kept": int(num_visited), "walk_steps": steps},
+        )

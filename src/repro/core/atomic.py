@@ -1,0 +1,112 @@
+"""Atomic-update buffers for compression kernels.
+
+The paper's kernels mark graph elements for removal with an ``atomic``
+keyword (§4.1) — concurrent kernel instances may delete the same edge or
+test-and-set an edge's ``considered`` flag (Edge-Once TR, §4.3).  Instead
+of locking a shared mutable graph, this implementation gives each kernel
+sweep a :class:`DeletionBuffer` and an :class:`EdgeFlags` set: kernel
+instances record intents, buffers from parallel chunks merge
+deterministically (chunk-index order), and the engine applies the merged
+buffer to produce the compressed graph.  Deletion is idempotent, so merge
+order never changes the *deleted set* — only Edge-Once flag races are
+scheduling-dependent, exactly as the paper permits ("the developer can
+specify if a given element should be considered ... by more than one
+kernel instance").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["DeletionBuffer", "EdgeFlags"]
+
+
+class DeletionBuffer:
+    """Records edge and vertex deletion intents for one kernel sweep."""
+
+    def __init__(self, num_vertices: int, num_edges: int) -> None:
+        self.edge_deleted = np.zeros(num_edges, dtype=bool)
+        self.vertex_deleted = np.zeros(num_vertices, dtype=bool)
+        self._weight_updates: dict[int, float] = {}
+
+    # -- intents -------------------------------------------------------- #
+
+    def delete_edge(self, edge_id: int) -> None:
+        self.edge_deleted[edge_id] = True
+
+    def delete_edges(self, edge_ids) -> None:
+        self.edge_deleted[np.asarray(edge_ids, dtype=np.int64)] = True
+
+    def delete_vertex(self, vertex_id: int) -> None:
+        self.vertex_deleted[vertex_id] = True
+
+    def set_weight(self, edge_id: int, weight: float) -> None:
+        """Reweighting intent (spectral sparsifiers set w = 1/p_uv)."""
+        self._weight_updates[int(edge_id)] = float(weight)
+
+    # -- merge & apply --------------------------------------------------- #
+
+    @property
+    def num_deleted_edges(self) -> int:
+        return int(self.edge_deleted.sum())
+
+    @property
+    def num_deleted_vertices(self) -> int:
+        return int(self.vertex_deleted.sum())
+
+    def merge(self, other: "DeletionBuffer") -> None:
+        """Fold another chunk's buffer into this one (idempotent union)."""
+        self.edge_deleted |= other.edge_deleted
+        self.vertex_deleted |= other.vertex_deleted
+        self._weight_updates.update(other._weight_updates)
+
+    def apply(self, g: CSRGraph, *, relabel_vertices: bool = False) -> CSRGraph:
+        """Produce the compressed graph this buffer describes.
+
+        Weight updates are applied first (on surviving edges), then edge
+        deletions, then vertex deletions.
+        """
+        if self.edge_deleted.shape != (g.num_edges,) or self.vertex_deleted.shape != (g.n,):
+            raise ValueError("buffer shape does not match graph")
+        out = g
+        if self._weight_updates:
+            w = (
+                out.edge_weights.copy()
+                if out.is_weighted
+                else np.ones(out.num_edges, dtype=np.float64)
+            )
+            ids = np.fromiter(self._weight_updates, dtype=np.int64, count=len(self._weight_updates))
+            vals = np.fromiter(self._weight_updates.values(), dtype=np.float64, count=len(ids))
+            w[ids] = vals
+            out = out.with_weights(w)
+        if self.edge_deleted.any():
+            out = out.keep_edges(~self.edge_deleted)
+        if self.vertex_deleted.any():
+            out = out.remove_vertices(
+                np.flatnonzero(self.vertex_deleted), relabel=relabel_vertices
+            )
+        return out
+
+
+class EdgeFlags:
+    """Per-edge ``considered`` flags with test-and-set semantics.
+
+    Backs Edge-Once Triangle Reduction: the *first* kernel instance that
+    considers an edge may delete it; later instances see the flag and leave
+    the edge alone (§4.3, Listing 1 lines 17–22).
+    """
+
+    def __init__(self, num_edges: int) -> None:
+        self.flags = np.zeros(num_edges, dtype=bool)
+
+    def test_and_set(self, edge_id: int) -> bool:
+        """Return True iff this call is the first consideration of the edge."""
+        if self.flags[edge_id]:
+            return False
+        self.flags[edge_id] = True
+        return True
+
+    def merge(self, other: "EdgeFlags") -> None:
+        self.flags |= other.flags

@@ -1,0 +1,205 @@
+"""Compression kernels and their local graph views.
+
+This is the paper's programming model (§3.1, §4.1).  A *compression
+kernel* is a small program whose single argument ``x`` is a local view of
+the graph — a vertex, an edge, a triangle, or a subgraph — plus the global
+``SG`` container.  The kernel inspects the view and records deletions via
+``SG``; the engine (:mod:`repro.core.engine`) runs one kernel instance per
+graph element, in parallel chunks.
+
+The four view classes expose exactly the properties Listing 1 of the paper
+uses (``e.u.deg``, ``e.weight``, ``v.deg``, out-edges of a subgraph, …).
+Kernels are plain callables; subclassing the typed bases just pins the
+``scope`` so the engine knows what to enumerate::
+
+    class RandomUniform(EdgeKernel):
+        def __call__(self, e, sg):
+            if sg.param("p") < sg.rand():
+                sg.delete(e)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "VertexView",
+    "EdgeView",
+    "TriangleView",
+    "SubgraphView",
+    "CompressionKernel",
+    "VertexKernel",
+    "EdgeKernel",
+    "TriangleKernel",
+    "SubgraphKernel",
+]
+
+
+@dataclass(frozen=True)
+class VertexView:
+    """Kernel argument for vertex kernels: a vertex and its neighborhood."""
+
+    graph: CSRGraph
+    id: int
+
+    @property
+    def deg(self) -> int:
+        return self.graph.degree(self.id)
+
+    @property
+    def neighbors(self) -> np.ndarray:
+        return self.graph.neighbors(self.id)
+
+    @property
+    def incident_edge_ids(self) -> np.ndarray:
+        return self.graph.incident_edge_ids(self.id)
+
+
+@dataclass(frozen=True)
+class _Endpoint:
+    """An edge endpoint exposing the paper's ``e.u`` / ``e.v`` fields."""
+
+    graph: CSRGraph
+    id: int
+
+    @property
+    def deg(self) -> int:
+        return self.graph.degree(self.id)
+
+
+@dataclass(frozen=True)
+class EdgeView:
+    """Kernel argument for edge kernels: one canonical edge."""
+
+    graph: CSRGraph
+    id: int
+
+    @property
+    def u(self) -> _Endpoint:
+        return _Endpoint(self.graph, int(self.graph.edge_src[self.id]))
+
+    @property
+    def v(self) -> _Endpoint:
+        return _Endpoint(self.graph, int(self.graph.edge_dst[self.id]))
+
+    @property
+    def weight(self) -> float:
+        return self.graph.weight_of(self.id)
+
+
+@dataclass(frozen=True)
+class TriangleView:
+    """Kernel argument for triangle kernels: vertices + the three edges.
+
+    ``edge_ids`` ordering matches :class:`repro.algorithms.triangles.
+    TriangleList`: (u,v), (u,w), (v,w).
+    """
+
+    graph: CSRGraph
+    vertices: tuple[int, int, int]
+    edge_ids: tuple[int, int, int]
+
+    @property
+    def weights(self) -> np.ndarray:
+        return np.array([self.graph.weight_of(e) for e in self.edge_ids])
+
+    def max_weight_edge(self) -> int:
+        """Edge id of the heaviest triangle edge (ties -> lowest id)."""
+        w = self.weights
+        return int(self.edge_ids[int(np.argmax(w))])
+
+    def edges(self) -> list[EdgeView]:
+        return [EdgeView(self.graph, e) for e in self.edge_ids]
+
+
+class SubgraphView:
+    """Kernel argument for subgraph kernels: a cluster of vertices.
+
+    Exposes the cluster's vertices, intra-cluster edges, and out-edges
+    (edges leaving the cluster) with the neighbor cluster of each out-edge
+    — the ``elem_ID`` of Listing 1.
+    """
+
+    def __init__(self, graph: CSRGraph, cluster_id: int, vertices: np.ndarray, mapping: np.ndarray):
+        self.graph = graph
+        self.id = int(cluster_id)
+        self.vertices = np.asarray(vertices, dtype=np.int64)
+        self.mapping = mapping  # full vertex -> cluster id array
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def internal_edge_ids(self) -> np.ndarray:
+        """Canonical ids of edges with both endpoints in this cluster."""
+        g, mp = self.graph, self.mapping
+        eids = np.unique(
+            np.concatenate([g.incident_edge_ids(int(v)) for v in self.vertices])
+            if len(self.vertices)
+            else np.empty(0, dtype=np.int64)
+        )
+        src, dst = g.edge_src[eids], g.edge_dst[eids]
+        both = (mp[src] == self.id) & (mp[dst] == self.id)
+        return eids[both]
+
+    def out_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """(edge ids, neighbor cluster ids) of edges leaving the cluster."""
+        g, mp = self.graph, self.mapping
+        if not len(self.vertices):
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy()
+        eids = np.unique(
+            np.concatenate([g.incident_edge_ids(int(v)) for v in self.vertices])
+        )
+        src, dst = g.edge_src[eids], g.edge_dst[eids]
+        cs, cd = mp[src], mp[dst]
+        crossing = cs != cd
+        eids = eids[crossing]
+        other = np.where(cs[crossing] == self.id, cd[crossing], cs[crossing])
+        return eids, other
+
+    def neighborhood_union(self) -> np.ndarray:
+        """All vertices adjacent to the cluster (members excluded)."""
+        g = self.graph
+        if not len(self.vertices):
+            return np.empty(0, dtype=np.int64)
+        nbrs = np.unique(
+            np.concatenate([g.neighbors(int(v)) for v in self.vertices])
+        )
+        return np.setdiff1d(nbrs, self.vertices, assume_unique=True)
+
+
+class CompressionKernel:
+    """Base class: a callable ``kernel(view, sg)`` with an element scope.
+
+    ``scope`` ∈ {"vertex", "edge", "triangle", "subgraph"} tells the engine
+    what to enumerate; ``name`` labels analytics output.
+    """
+
+    scope: str = "edge"
+    name: str = "kernel"
+
+    def __call__(self, x, sg) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} scope={self.scope!r}>"
+
+
+class VertexKernel(CompressionKernel):
+    scope = "vertex"
+
+
+class EdgeKernel(CompressionKernel):
+    scope = "edge"
+
+
+class TriangleKernel(CompressionKernel):
+    scope = "triangle"
+
+
+class SubgraphKernel(CompressionKernel):
+    scope = "subgraph"

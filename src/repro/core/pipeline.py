@@ -1,0 +1,102 @@
+"""The two-stage pipeline (§3.2): compress, then run a graph algorithm.
+
+Fig. 5 of the paper plots the *relative runtime difference* between an
+algorithm on the compressed and on the original graph, colored by the
+compression ratio; :class:`Pipeline` produces exactly those quantities for
+any (scheme, algorithm) pair.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["Pipeline", "PipelineResult"]
+
+AlgorithmFn = Callable[[CSRGraph], Any]
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything Fig. 5 needs for one (scheme, algorithm, graph) cell."""
+
+    original_graph: CSRGraph
+    compressed_graph: CSRGraph
+    compression_seconds: float
+    original_algorithm_seconds: float
+    compressed_algorithm_seconds: float
+    original_output: Any
+    compressed_output: Any
+
+    @property
+    def compression_ratio(self) -> float:
+        """Edges remaining / edges original (the paper's color axis)."""
+        m = self.original_graph.num_edges
+        return self.compressed_graph.num_edges / m if m else 1.0
+
+    @property
+    def edge_reduction(self) -> float:
+        """Fraction of edges removed (Fig. 6's y-axis)."""
+        return 1.0 - self.compression_ratio
+
+    @property
+    def relative_runtime_difference(self) -> float:
+        """(t_original - t_compressed) / t_original — Fig. 5's y-axis.
+
+        Positive values mean the algorithm got faster on the compressed
+        graph.
+        """
+        t0 = self.original_algorithm_seconds
+        return (t0 - self.compressed_algorithm_seconds) / t0 if t0 > 0 else 0.0
+
+
+class Pipeline:
+    """Stage 1: compress with ``scheme``; stage 2: run ``algorithm`` on both
+    graphs and time it.
+
+    ``scheme`` is any object with a ``compress(graph, *, seed) ->
+    CompressionResult``-like method (see :mod:`repro.compress.base`) or a
+    plain callable ``graph -> graph``.
+    """
+
+    def __init__(self, scheme, algorithm: AlgorithmFn, *, repeats: int = 1):
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.scheme = scheme
+        self.algorithm = algorithm
+        self.repeats = repeats
+
+    def _compress(self, g: CSRGraph, seed) -> tuple[CSRGraph, float]:
+        start = time.perf_counter()
+        if hasattr(self.scheme, "compress"):
+            result = self.scheme.compress(g, seed=seed)
+            out = result.graph if hasattr(result, "graph") else result
+        else:
+            out = self.scheme(g)
+        return out, time.perf_counter() - start
+
+    def _time_algorithm(self, g: CSRGraph) -> tuple[Any, float]:
+        best = float("inf")
+        output = None
+        for _ in range(self.repeats):
+            start = time.perf_counter()
+            output = self.algorithm(g)
+            best = min(best, time.perf_counter() - start)
+        return output, best
+
+    def run(self, g: CSRGraph, *, seed=None) -> PipelineResult:
+        compressed, t_compress = self._compress(g, seed)
+        out_orig, t_orig = self._time_algorithm(g)
+        out_comp, t_comp = self._time_algorithm(compressed)
+        return PipelineResult(
+            original_graph=g,
+            compressed_graph=compressed,
+            compression_seconds=t_compress,
+            original_algorithm_seconds=t_orig,
+            compressed_algorithm_seconds=t_comp,
+            original_output=out_orig,
+            compressed_output=out_comp,
+        )

@@ -1,0 +1,115 @@
+"""The Slim Graph runtime loop (Listing 2 of the paper).
+
+``SlimGraphRuntime`` wires together the pieces: initialize ``SG``,
+construct the vertex→subgraph mapping when the kernel needs one, execute
+all kernel instances, apply the deletion buffers, and repeat until the
+convergence flag holds (only summarization iterates; every other scheme is
+a single sweep, exactly as §4.5.1 states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.engine import run_kernels
+from repro.core.kernels import CompressionKernel
+from repro.core.sg import SG
+from repro.graphs.csr import CSRGraph
+from repro.utils.rng import as_generator
+
+__all__ = ["SlimGraphRuntime", "RuntimeResult"]
+
+MappingFn = Callable[[CSRGraph, SG, "np.random.Generator"], np.ndarray]
+
+
+@dataclass
+class RuntimeResult:
+    """Compressed graph plus per-round sweep statistics."""
+
+    graph: CSRGraph
+    rounds: int
+    deleted_edges: int
+    deleted_vertices: int
+    sg: SG = field(repr=False, default=None)
+
+
+class SlimGraphRuntime:
+    """Executes compression kernels until convergence (Listing 2).
+
+    Parameters
+    ----------
+    kernel:
+        The compression kernel to run.
+    mapping_fn:
+        For subgraph kernels: callable building the vertex→cluster mapping
+        (§4.5.2), invoked before every round on the current graph.
+    params:
+        Scheme parameters stored into ``SG`` (e.g. ``{"p": 0.5}``).
+    backend, num_chunks:
+        Forwarded to :func:`repro.core.engine.run_kernels`.
+    max_rounds:
+        Safety bound on convergence rounds.
+    relabel_vertices:
+        Whether vertex deletions compact ids (triangle collapse) or leave
+        isolated ids behind (metric-friendly default).
+    """
+
+    def __init__(
+        self,
+        kernel: CompressionKernel,
+        *,
+        mapping_fn: MappingFn | None = None,
+        params: dict | None = None,
+        backend: str = "serial",
+        num_chunks: int | None = None,
+        max_rounds: int = 64,
+        relabel_vertices: bool = False,
+    ) -> None:
+        self.kernel = kernel
+        self.mapping_fn = mapping_fn
+        self.params = dict(params or {})
+        self.backend = backend
+        self.num_chunks = num_chunks
+        self.max_rounds = max_rounds
+        self.relabel_vertices = relabel_vertices
+
+    def run(self, g: CSRGraph, *, seed=None) -> RuntimeResult:
+        rng = as_generator(seed)
+        sg = SG(g, self.params)
+        current = g
+        total_edges_deleted = 0
+        total_vertices_deleted = 0
+        rounds = 0
+        while rounds < self.max_rounds:
+            rounds += 1
+            sg.graph = current
+            sg.fresh_buffers()
+            if self.kernel.scope == "subgraph":
+                if self.mapping_fn is None:
+                    raise RuntimeError("subgraph kernels require mapping_fn")
+                mapping = np.asarray(self.mapping_fn(current, sg, rng), dtype=np.int64)
+                sg.mapping = mapping
+                sg.sgr_cnt = int(mapping.max()) + 1 if len(mapping) else 0
+            run_kernels(
+                current,
+                self.kernel,
+                sg,
+                backend=self.backend,
+                num_chunks=self.num_chunks,
+                seed=rng,
+            )
+            total_edges_deleted += sg.buffer.num_deleted_edges
+            total_vertices_deleted += sg.buffer.num_deleted_vertices
+            current = sg.buffer.apply(current, relabel_vertices=self.relabel_vertices)
+            if sg.converged:
+                break
+        return RuntimeResult(
+            graph=current,
+            rounds=rounds,
+            deleted_edges=total_edges_deleted,
+            deleted_vertices=total_vertices_deleted,
+            sg=sg,
+        )

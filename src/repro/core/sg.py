@@ -1,0 +1,156 @@
+"""The ``SG`` global container object (§4.1).
+
+Every kernel instance receives the same ``SG`` alongside its local view.
+``SG`` carries:
+
+- the input graph and the compression-scheme parameters (``SG.p``, Υ, ε…),
+- the mutation interface (``delete``, ``set_weight``) that records intents
+  into the sweep's :class:`~repro.core.atomic.DeletionBuffer`,
+- the per-chunk random stream (``rand``; the engine rebinds it per chunk so
+  parallel execution stays deterministic),
+- Edge-Once ``considered`` flags (``considered_once``),
+- subgraph-kernel state: the vertex→cluster ``mapping`` and cluster count,
+- summarization state: the summary builder, corrections⁺ / corrections⁻,
+  and the convergence flag driving the Listing-2 runtime loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.atomic import DeletionBuffer, EdgeFlags
+from repro.core.kernels import EdgeView, TriangleView, VertexView
+from repro.graphs.csr import CSRGraph
+from repro.utils.rng import as_generator
+
+__all__ = ["SG"]
+
+
+class SG:
+    """Global container shared by all kernel instances of one sweep."""
+
+    def __init__(self, graph: CSRGraph, params: dict | None = None, *, seed=None):
+        self.graph = graph
+        self.params = dict(params or {})
+        self._rng = as_generator(seed)
+        self.buffer = DeletionBuffer(graph.n, graph.num_edges)
+        self.flags = EdgeFlags(graph.num_edges)
+        # Subgraph-kernel state (populated by the runtime).
+        self.mapping: np.ndarray | None = None
+        self.sgr_cnt: int = 0
+        # Summarization state.
+        self.summary_supervertices: list[int] = []
+        self.summary_edges: list[tuple[int, int, float]] = []
+        self.corrections_plus: list[tuple[int, int]] = []
+        self.corrections_minus: list[tuple[int, int]] = []
+        self.converged: bool = True
+
+    # ------------------------------------------------------------------ #
+    # parameters
+    # ------------------------------------------------------------------ #
+
+    def param(self, key: str, default=None):
+        return self.params.get(key, default)
+
+    @property
+    def p(self) -> float:
+        """The sampling probability parameter (most schemes call it p)."""
+        return float(self.params["p"])
+
+    @property
+    def epsilon(self) -> float:
+        return float(self.params["epsilon"])
+
+    def connectivity_spectral_parameter(self) -> float:
+        """Υ for spectral sparsification (§4.2.1).
+
+        ``params["spectral_variant"]`` selects the paper's two variants:
+        ``"logn"`` → Υ = p·log n  [Spielman–Teng-style], or
+        ``"avgdeg"`` → Υ = p·(m/n)  [average-degree, à la Iyer et al.].
+        """
+        g = self.graph
+        variant = self.params.get("spectral_variant", "logn")
+        p = self.p
+        if variant == "logn":
+            return p * math.log(max(g.n, 2))
+        if variant == "avgdeg":
+            return p * (g.num_edges / max(g.n, 1))
+        raise ValueError(f"unknown spectral_variant {variant!r}")
+
+    # ------------------------------------------------------------------ #
+    # randomness (rebindable per chunk for deterministic parallelism)
+    # ------------------------------------------------------------------ #
+
+    def bind_rng(self, rng) -> None:
+        self._rng = as_generator(rng)
+
+    def rand(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Uniform random float in [low, high) — the paper's ``SG.rand``."""
+        return float(self._rng.uniform(low, high))
+
+    def rand_choice(self, container):
+        """Random element of a container — the overloaded ``rand`` of §4.3."""
+        return container[int(self._rng.integers(0, len(container)))]
+
+    # ------------------------------------------------------------------ #
+    # mutation intents (the paper's SG.del / reweighting)
+    # ------------------------------------------------------------------ #
+
+    def delete(self, element) -> None:
+        """Delete a graph element: an :class:`EdgeView`, :class:`VertexView`,
+        or a bare edge id."""
+        if isinstance(element, EdgeView):
+            self.buffer.delete_edge(element.id)
+        elif isinstance(element, VertexView):
+            self.buffer.delete_vertex(element.id)
+        elif isinstance(element, TriangleView):
+            self.buffer.delete_edges(list(element.edge_ids))
+        elif isinstance(element, (int, np.integer)):
+            self.buffer.delete_edge(int(element))
+        else:
+            raise TypeError(f"cannot delete {type(element).__name__}")
+
+    def delete_edge_id(self, edge_id: int) -> None:
+        self.buffer.delete_edge(int(edge_id))
+
+    def delete_vertex_id(self, vertex_id: int) -> None:
+        self.buffer.delete_vertex(int(vertex_id))
+
+    def set_weight(self, element, weight: float) -> None:
+        eid = element.id if isinstance(element, EdgeView) else int(element)
+        self.buffer.set_weight(eid, weight)
+
+    def considered_once(self, element) -> bool:
+        """Edge-Once test-and-set: True iff first consideration (§4.3)."""
+        eid = element.id if isinstance(element, EdgeView) else int(element)
+        return self.flags.test_and_set(eid)
+
+    # ------------------------------------------------------------------ #
+    # summarization support (§4.5.4)
+    # ------------------------------------------------------------------ #
+
+    def summary_insert_supervertex(self, sv: int) -> None:
+        self.summary_supervertices.append(int(sv))
+
+    def summary_insert_superedge(self, a: int, b: int, weight: float = 1.0) -> None:
+        self.summary_edges.append((int(a), int(b), float(weight)))
+
+    def add_corrections_plus(self, pairs) -> None:
+        self.corrections_plus.extend((int(u), int(v)) for u, v in pairs)
+
+    def add_corrections_minus(self, pairs) -> None:
+        self.corrections_minus.extend((int(u), int(v)) for u, v in pairs)
+
+    def update_convergence(self, converged: bool = True) -> None:
+        """Kernels vote on convergence; any False vote forces another round."""
+        self.converged = self.converged and converged
+
+    # ------------------------------------------------------------------ #
+
+    def fresh_buffers(self) -> None:
+        """Reset per-sweep state (used between runtime rounds)."""
+        self.buffer = DeletionBuffer(self.graph.n, self.graph.num_edges)
+        self.flags = EdgeFlags(self.graph.num_edges)
+        self.converged = True

@@ -1,0 +1,138 @@
+"""Simulated MPI one-sided (RMA) windows.
+
+The paper compresses its largest graphs with "a distributed-memory
+implementation of edge compression kernels, based on MPI Remote Memory
+Access".  mpi4py is not available offline, so this module simulates the
+RMA subset that implementation needs:
+
+- :class:`Window` — a byte-addressable shared array with ``put``/``get``/
+  ``accumulate`` plus epoch bookkeeping (``fence``) and per-rank access
+  assertion (``lock``/``unlock``), mirroring ``MPI.Win`` semantics;
+- two backings: a plain in-process ndarray (deterministic tests) and
+  ``multiprocessing.shared_memory`` (real OS-level sharing for the
+  process-backed engine).
+
+The simulation checks the discipline the real code must follow (no access
+outside an epoch or lock), so porting to mpi4py is mechanical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Window", "RMAError"]
+
+
+class RMAError(RuntimeError):
+    """Violation of the window access discipline."""
+
+
+class Window:
+    """A shared typed array with one-sided access semantics.
+
+    Parameters
+    ----------
+    size:
+        Number of elements.
+    dtype:
+        NumPy dtype of the window.
+    shared:
+        Use ``multiprocessing.shared_memory`` (pass ``name=...`` to attach
+        to an existing segment from a worker process).
+    """
+
+    def __init__(self, size: int, dtype="uint8", *, shared: bool = False, name: str | None = None):
+        self.size = int(size)
+        self.dtype = np.dtype(dtype)
+        self._shared = shared
+        self._shm = None
+        self._epoch_open = False
+        self._locked_by: int | None = None
+        if shared:
+            from multiprocessing import shared_memory
+
+            nbytes = self.size * self.dtype.itemsize
+            if name is None:
+                self._shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+                self._owns = True
+            else:
+                self._shm = shared_memory.SharedMemory(name=name)
+                self._owns = False
+            self.buffer = np.ndarray(self.size, dtype=self.dtype, buffer=self._shm.buf)
+            if name is None:
+                self.buffer[:] = 0
+        else:
+            self._owns = True
+            self.buffer = np.zeros(self.size, dtype=self.dtype)
+
+    # -- epochs / locks --------------------------------------------------- #
+
+    @property
+    def name(self) -> str | None:
+        return self._shm.name if self._shm is not None else None
+
+    def fence(self) -> None:
+        """Open/close an access epoch (MPI_Win_fence analogue)."""
+        self._epoch_open = not self._epoch_open
+
+    def lock(self, rank: int) -> None:
+        if self._locked_by is not None:
+            raise RMAError(f"window already locked by rank {self._locked_by}")
+        self._locked_by = int(rank)
+
+    def unlock(self, rank: int) -> None:
+        if self._locked_by != int(rank):
+            raise RMAError(f"rank {rank} does not hold the lock")
+        self._locked_by = None
+
+    def _check_access(self) -> None:
+        if not self._epoch_open and self._locked_by is None:
+            raise RMAError("window access outside an epoch or lock")
+
+    # -- one-sided ops ----------------------------------------------------- #
+
+    def put(self, offset: int, values) -> None:
+        self._check_access()
+        values = np.asarray(values, dtype=self.dtype)
+        if offset < 0 or offset + len(values) > self.size:
+            raise RMAError("put out of window bounds")
+        self.buffer[offset : offset + len(values)] = values
+
+    def get(self, offset: int, count: int) -> np.ndarray:
+        self._check_access()
+        if offset < 0 or offset + count > self.size:
+            raise RMAError("get out of window bounds")
+        return self.buffer[offset : offset + count].copy()
+
+    def accumulate(self, offset: int, values, op: str = "sum") -> None:
+        """Element-wise accumulate (sum / max / min / lor)."""
+        self._check_access()
+        values = np.asarray(values, dtype=self.dtype)
+        if offset < 0 or offset + len(values) > self.size:
+            raise RMAError("accumulate out of window bounds")
+        view = self.buffer[offset : offset + len(values)]
+        if op == "sum":
+            view += values
+        elif op == "max":
+            np.maximum(view, values, out=view)
+        elif op == "min":
+            np.minimum(view, values, out=view)
+        elif op == "lor":
+            np.bitwise_or(view, values, out=view)
+        else:
+            raise ValueError(f"unknown accumulate op {op!r}")
+
+    # -- lifecycle ---------------------------------------------------------- #
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            if self._owns:
+                self._shm.unlink()
+            self._shm = None
+
+    def __enter__(self) -> "Window":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

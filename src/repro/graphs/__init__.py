@@ -1,0 +1,32 @@
+"""Graph substrate: CSR core, builders, generators, datasets, and I/O."""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.builder import GraphBuilder
+from repro.graphs import generators
+from repro.graphs import datasets
+from repro.graphs.views import induced_subgraph, edge_subgraph, cluster_subgraphs
+from repro.graphs.properties import GraphSummary, summarize, degree_statistics, density
+from repro.graphs.weights import (
+    with_uniform_weights,
+    with_exponential_weights,
+    with_unit_weights,
+)
+from repro.graphs import edgelist
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "generators",
+    "datasets",
+    "induced_subgraph",
+    "edge_subgraph",
+    "cluster_subgraphs",
+    "GraphSummary",
+    "summarize",
+    "degree_statistics",
+    "density",
+    "with_uniform_weights",
+    "with_exponential_weights",
+    "with_unit_weights",
+    "edgelist",
+]

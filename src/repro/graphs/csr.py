@@ -1,0 +1,409 @@
+"""Compressed Sparse Row graph core.
+
+``CSRGraph`` is the single graph representation used across the library —
+the paper's execution engine keeps graphs "maintained as adjacency arrays"
+(§4.5.2), which is exactly CSR.  The structure is *immutable*: lossy
+compression never mutates a graph in place; kernels record deletions into
+buffers (:mod:`repro.core.atomic`) which are applied at the end of a kernel
+sweep, producing a new ``CSRGraph``.  Immutability is what makes the
+parallel kernel semantics of the paper (atomic deletes merged after the
+sweep) deterministic and race-free in this implementation.
+
+Identity model
+--------------
+Every *undirected edge* (or directed arc for directed graphs) has a stable
+integer **edge id** ``0..m-1`` indexing the canonical edge arrays
+``edge_src``/``edge_dst``/``edge_weights`` (canonical means ``src < dst``
+for undirected graphs).  The CSR adjacency additionally stores, for every
+stored arc, the id of the canonical edge it belongs to (``arc_edge_ids``),
+so a kernel holding a local view of the graph can delete "this edge" without
+any searching.  ``delete_edges``/``keep_edges`` take edge-id masks and
+return new graphs with *edge ids renumbered* (they index the new arrays) but
+vertex ids preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable graph in CSR form with stable edge identities.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``; vertex ids are ``0..n-1``.  Isolated
+        vertices are allowed (compression often creates them).
+    edge_src, edge_dst:
+        Canonical edge endpoint arrays of length ``m``.  For undirected
+        graphs every edge appears exactly once with ``src < dst``; for
+        directed graphs each arc appears once as given.
+    edge_weights:
+        Optional ``float64`` array of length ``m``; ``None`` for unweighted
+        graphs.
+    directed:
+        Whether the graph is directed.  Undirected graphs store both arc
+        directions in the adjacency.
+
+    Notes
+    -----
+    Use :meth:`from_edges` (which cleans, deduplicates, and canonicalizes
+    raw input) rather than the constructor unless the arrays are already
+    canonical — the constructor validates cheaply but does not repair.
+    """
+
+    __slots__ = (
+        "n",
+        "edge_src",
+        "edge_dst",
+        "edge_weights",
+        "directed",
+        "indptr",
+        "indices",
+        "arc_edge_ids",
+        "_degrees",
+        "_in_degrees",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_weights: np.ndarray | None = None,
+        *,
+        directed: bool = False,
+    ) -> None:
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be >= 0, got {num_vertices}")
+        edge_src = np.ascontiguousarray(edge_src, dtype=np.int64)
+        edge_dst = np.ascontiguousarray(edge_dst, dtype=np.int64)
+        if edge_src.shape != edge_dst.shape or edge_src.ndim != 1:
+            raise ValueError("edge_src and edge_dst must be 1-D arrays of equal length")
+        m = len(edge_src)
+        if m and (edge_src.min() < 0 or max(edge_src.max(), edge_dst.max()) >= num_vertices):
+            raise ValueError("edge endpoints out of range")
+        if not directed and m and np.any(edge_src >= edge_dst):
+            raise ValueError(
+                "undirected canonical edges require src < dst "
+                "(self-loops are not allowed); use CSRGraph.from_edges"
+            )
+        if directed and m and np.any(edge_src == edge_dst):
+            raise ValueError("self-loops are not allowed; use CSRGraph.from_edges")
+        if edge_weights is not None:
+            edge_weights = np.ascontiguousarray(edge_weights, dtype=np.float64)
+            if edge_weights.shape != edge_src.shape:
+                raise ValueError("edge_weights must match the number of edges")
+
+        self.n = int(num_vertices)
+        self.edge_src = edge_src
+        self.edge_dst = edge_dst
+        self.edge_weights = edge_weights
+        self.directed = bool(directed)
+        self._degrees = None
+        self._in_degrees = None
+        self._build_csr()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _build_csr(self) -> None:
+        """Build adjacency arrays (both directions for undirected graphs)."""
+        m = len(self.edge_src)
+        eids = np.arange(m, dtype=np.int64)
+        if self.directed:
+            heads, tails, arc_ids = self.edge_src, self.edge_dst, eids
+        else:
+            heads = np.concatenate([self.edge_src, self.edge_dst])
+            tails = np.concatenate([self.edge_dst, self.edge_src])
+            arc_ids = np.concatenate([eids, eids])
+        order = np.lexsort((tails, heads))
+        heads, tails, arc_ids = heads[order], tails[order], arc_ids[order]
+        counts = np.bincount(heads, minlength=self.n)
+        self.indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        self.indices = np.ascontiguousarray(tails)
+        self.arc_edge_ids = np.ascontiguousarray(arc_ids)
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        src,
+        dst,
+        weights=None,
+        *,
+        directed: bool = False,
+        dedup: str = "first",
+    ) -> "CSRGraph":
+        """Build a graph from raw (possibly messy) edge arrays.
+
+        Self-loops are dropped.  For undirected graphs endpoints are
+        canonicalized to ``src < dst``.  Duplicate edges are collapsed
+        according to ``dedup``:
+
+        - ``"first"``: keep the first occurrence's weight,
+        - ``"sum"``: sum duplicate weights (parallel-edge aggregation, used
+          when building summaries),
+        - ``"min"`` / ``"max"``: keep the extreme weight.
+        """
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        w = None if weights is None else np.asarray(weights, dtype=np.float64).ravel()
+        if w is not None and w.shape != src.shape:
+            raise ValueError("weights must match the number of edges")
+
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if w is not None:
+            w = w[keep]
+        if not directed and len(src):
+            lo = np.minimum(src, dst)
+            hi = np.maximum(src, dst)
+            src, dst = lo, hi
+
+        if len(src):
+            order = np.lexsort((dst, src))
+            src, dst = src[order], dst[order]
+            if w is not None:
+                w = w[order]
+            # Collapse duplicates on the sorted arrays.
+            is_first = np.empty(len(src), dtype=bool)
+            is_first[0] = True
+            is_first[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+            if not is_first.all():
+                group = np.cumsum(is_first) - 1
+                usrc, udst = src[is_first], dst[is_first]
+                if w is not None:
+                    if dedup == "sum":
+                        uw = np.bincount(group, weights=w)
+                    elif dedup == "min":
+                        uw = np.full(group[-1] + 1, np.inf)
+                        np.minimum.at(uw, group, w)
+                    elif dedup == "max":
+                        uw = np.full(group[-1] + 1, -np.inf)
+                        np.maximum.at(uw, group, w)
+                    elif dedup == "first":
+                        uw = w[is_first]
+                    else:
+                        raise ValueError(f"unknown dedup policy {dedup!r}")
+                    w = uw
+                src, dst = usrc, udst
+        return cls(num_vertices, src, dst, w, directed=directed)
+
+    @classmethod
+    def empty(cls, num_vertices: int = 0, *, directed: bool = False) -> "CSRGraph":
+        """An edgeless graph on ``num_vertices`` vertices."""
+        z = np.empty(0, dtype=np.int64)
+        return cls(num_vertices, z, z, None, directed=directed)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        return self.n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of canonical edges (undirected edges, or directed arcs)."""
+        return len(self.edge_src)
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.edge_weights is not None
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex (out-degree for directed graphs)."""
+        if self._degrees is None:
+            d = np.diff(self.indptr)
+            d.flags.writeable = False
+            self._degrees = d
+        return self._degrees
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex (== degrees for undirected graphs)."""
+        if self.directed:
+            if self._in_degrees is None:
+                d = np.bincount(self.edge_dst, minlength=self.n)
+                d.flags.writeable = False
+                self._in_degrees = d
+            return self._in_degrees
+        return self.degrees
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of ``v`` (out-neighbors if directed); a view."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def incident_edge_ids(self, v: int) -> np.ndarray:
+        """Canonical edge ids of the arcs leaving ``v``; parallel to neighbors."""
+        return self.arc_edge_ids[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights of arcs leaving ``v``; all-ones view if unweighted."""
+        if self.edge_weights is None:
+            return np.ones(self.degree(v), dtype=np.float64)
+        return self.edge_weights[self.incident_edge_ids(v)]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test by binary search on the sorted neighbor row."""
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < len(row) and row[i] == v
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Canonical edge id of edge (u, v); raises ``KeyError`` if absent."""
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        if i >= len(row) or row[i] != v:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        return int(self.incident_edge_ids(u)[i])
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """The canonical edge arrays ``(src, dst)`` (do not mutate)."""
+        return self.edge_src, self.edge_dst
+
+    def weight_of(self, edge_id: int) -> float:
+        return 1.0 if self.edge_weights is None else float(self.edge_weights[edge_id])
+
+    def total_weight(self) -> float:
+        if self.edge_weights is None:
+            return float(self.num_edges)
+        return float(self.edge_weights.sum())
+
+    # ------------------------------------------------------------------ #
+    # derivation (all return new graphs)
+    # ------------------------------------------------------------------ #
+
+    def keep_edges(self, keep_mask: np.ndarray) -> "CSRGraph":
+        """Subgraph with the canonical edges where ``keep_mask`` is True.
+
+        The vertex set is preserved (compression never renumbers vertices;
+        accuracy metrics compare per-vertex outputs positionally).
+        """
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != self.edge_src.shape:
+            raise ValueError("mask length must equal num_edges")
+        w = None if self.edge_weights is None else self.edge_weights[keep_mask]
+        return CSRGraph(
+            self.n,
+            self.edge_src[keep_mask],
+            self.edge_dst[keep_mask],
+            w,
+            directed=self.directed,
+        )
+
+    def delete_edges(self, edge_ids: np.ndarray) -> "CSRGraph":
+        """Drop the canonical edges listed in ``edge_ids`` (duplicates ok)."""
+        mask = np.ones(self.num_edges, dtype=bool)
+        mask[np.asarray(edge_ids, dtype=np.int64)] = False
+        return self.keep_edges(mask)
+
+    def remove_vertices(self, vertex_ids, *, relabel: bool = False) -> "CSRGraph":
+        """Drop vertices and their incident edges.
+
+        With ``relabel=False`` (default) the removed vertices remain as
+        isolated ids so per-vertex outputs stay positionally comparable;
+        with ``relabel=True`` the survivors are renumbered compactly (used
+        by triangle collapse, which genuinely changes the vertex set).
+        """
+        gone = np.zeros(self.n, dtype=bool)
+        gone[np.asarray(vertex_ids, dtype=np.int64)] = True
+        keep_edge = ~(gone[self.edge_src] | gone[self.edge_dst])
+        g = self.keep_edges(keep_edge)
+        if not relabel:
+            return g
+        new_id = np.cumsum(~gone) - 1
+        w = g.edge_weights
+        return CSRGraph(
+            int((~gone).sum()),
+            new_id[g.edge_src],
+            new_id[g.edge_dst],
+            w,
+            directed=self.directed,
+        )
+
+    def with_weights(self, weights: np.ndarray | None) -> "CSRGraph":
+        """Same structure with replaced (or removed) edge weights."""
+        return CSRGraph(
+            self.n, self.edge_src, self.edge_dst, weights, directed=self.directed
+        )
+
+    def relabeled(self, mapping: np.ndarray, num_new: int, *, dedup: str = "first") -> "CSRGraph":
+        """Contract vertices through ``mapping`` (old id -> new id).
+
+        Edges mapping to self-loops vanish; parallel edges collapse per
+        ``dedup``.  This is the primitive behind supervertex construction in
+        lossy summarization and triangle collapse.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        if mapping.shape != (self.n,):
+            raise ValueError("mapping must have one entry per vertex")
+        return CSRGraph.from_edges(
+            num_new,
+            mapping[self.edge_src],
+            mapping[self.edge_dst],
+            self.edge_weights,
+            directed=self.directed,
+            dedup=dedup,
+        )
+
+    def to_undirected(self) -> "CSRGraph":
+        """Symmetrized copy (identity for undirected graphs)."""
+        if not self.directed:
+            return self
+        return CSRGraph.from_edges(
+            self.n, self.edge_src, self.edge_dst, self.edge_weights, directed=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # interop & diagnostics
+    # ------------------------------------------------------------------ #
+
+    def to_scipy(self):
+        """Adjacency as ``scipy.sparse.csr_matrix`` (symmetric if undirected)."""
+        from scipy.sparse import csr_matrix
+
+        if self.edge_weights is None:
+            data = np.ones(len(self.indices), dtype=np.float64)
+        else:
+            data = self.edge_weights[self.arc_edge_ids]
+        return csr_matrix((data, self.indices, self.indptr), shape=(self.n, self.n))
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on breakage.
+
+        Exercised heavily by the property-based tests: CSR rows sorted,
+        arc/edge id cross-references consistent, degree sums correct.
+        """
+        assert self.indptr[0] == 0 and self.indptr[-1] == len(self.indices)
+        assert np.all(np.diff(self.indptr) >= 0)
+        expected_arcs = self.num_edges if self.directed else 2 * self.num_edges
+        assert len(self.indices) == expected_arcs
+        for v in range(self.n):
+            row = self.neighbors(v)
+            assert np.all(row[1:] >= row[:-1]), f"row {v} not sorted"
+        # Every arc must point back at a canonical edge containing its head.
+        heads = np.repeat(np.arange(self.n), np.diff(self.indptr))
+        e = self.arc_edge_ids
+        ok = (self.edge_src[e] == heads) & (self.edge_dst[e] == self.indices)
+        if not self.directed:
+            ok |= (self.edge_dst[e] == heads) & (self.edge_src[e] == self.indices)
+        assert ok.all(), "arc -> edge-id cross reference broken"
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        w = "weighted" if self.is_weighted else "unweighted"
+        return f"CSRGraph(n={self.n}, m={self.num_edges}, {kind}, {w})"

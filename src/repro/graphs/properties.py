@@ -1,0 +1,93 @@
+"""Structural graph statistics.
+
+Cheap, degree-level statistics live here; anything requiring full algorithm
+runs (triangle counts, components, diameter) is imported lazily from
+:mod:`repro.algorithms` to keep the package layering acyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["GraphSummary", "summarize", "degree_statistics", "density"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """A one-stop structural profile of a graph.
+
+    Mirrors the columns of the paper's Table 3 header: n, m, degree
+    statistics, triangle count, components — everything the theory bounds
+    quantify over.
+    """
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    avg_degree: float
+    num_triangles: int
+    triangles_per_vertex: float
+    num_components: int
+    is_weighted: bool
+    directed: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.num_vertices,
+            "m": self.num_edges,
+            "max_degree": self.max_degree,
+            "avg_degree": self.avg_degree,
+            "T": self.num_triangles,
+            "T/n": self.triangles_per_vertex,
+            "components": self.num_components,
+            "weighted": self.is_weighted,
+            "directed": self.directed,
+        }
+
+
+def degree_statistics(g: CSRGraph) -> dict:
+    """Max / mean / median degree and degree variance."""
+    d = g.degrees
+    if g.n == 0:
+        return {"max": 0, "mean": 0.0, "median": 0.0, "var": 0.0}
+    return {
+        "max": int(d.max()),
+        "mean": float(d.mean()),
+        "median": float(np.median(d)),
+        "var": float(d.var()),
+    }
+
+
+def density(g: CSRGraph) -> float:
+    """m / (n choose 2) for undirected, m / n(n-1) for directed graphs."""
+    if g.n < 2:
+        return 0.0
+    pairs = g.n * (g.n - 1)
+    if not g.directed:
+        pairs //= 2
+    return g.num_edges / pairs
+
+
+def summarize(g: CSRGraph) -> GraphSummary:
+    """Full structural profile (runs triangle counting and CC)."""
+    from repro.algorithms.components import connected_components
+    from repro.algorithms.triangles import count_triangles
+
+    t = int(count_triangles(g))
+    comps = connected_components(g).num_components
+    d = g.degrees
+    return GraphSummary(
+        num_vertices=g.n,
+        num_edges=g.num_edges,
+        max_degree=int(d.max()) if g.n else 0,
+        avg_degree=float(d.mean()) if g.n else 0.0,
+        num_triangles=t,
+        triangles_per_vertex=t / g.n if g.n else 0.0,
+        num_components=comps,
+        is_weighted=g.is_weighted,
+        directed=g.directed,
+    )

@@ -1,0 +1,51 @@
+"""Accuracy metrics for lossy compression (§5)."""
+
+from repro.metrics.divergences import (
+    normalize_distribution,
+    kl_divergence,
+    js_divergence,
+    hellinger_distance,
+    total_variation,
+    bhattacharyya_distance,
+    all_divergences,
+)
+from repro.metrics.ordering import (
+    count_reordered_pairs,
+    reordered_pairs_fraction,
+    reordered_neighbor_pairs,
+)
+from repro.metrics.bfs_quality import (
+    CriticalEdges,
+    critical_edges,
+    critical_edge_preservation,
+)
+from repro.metrics.distributions import (
+    degree_histogram,
+    degree_cdf_distance,
+    PowerLawFit,
+    fit_power_law,
+)
+from repro.metrics.scalars import relative_change, absolute_change, is_preserved
+
+__all__ = [
+    "normalize_distribution",
+    "kl_divergence",
+    "js_divergence",
+    "hellinger_distance",
+    "total_variation",
+    "bhattacharyya_distance",
+    "all_divergences",
+    "count_reordered_pairs",
+    "reordered_pairs_fraction",
+    "reordered_neighbor_pairs",
+    "CriticalEdges",
+    "critical_edges",
+    "critical_edge_preservation",
+    "degree_histogram",
+    "degree_cdf_distance",
+    "PowerLawFit",
+    "fit_power_law",
+    "relative_change",
+    "absolute_change",
+    "is_preserved",
+]

@@ -1,0 +1,82 @@
+"""BFS-specific accuracy: critical edges (§5, Fig. 4).
+
+Graph500-style BFS outputs a parent vector, for which neither reordered
+pairs nor divergences make sense.  The paper instead classifies edges of a
+traversal from a fixed root:
+
+- **tree edges** — edges of the output BFS tree;
+- **potential edges** — edges that could replace a tree edge, i.e. any
+  edge connecting a vertex at level L to a vertex at level L+1;
+- **critical edges** Ecr = tree ∪ potential — every edge spanning two
+  consecutive BFS levels;
+- everything else is non-critical (intra-level or unreached).
+
+Compression quality for BFS is |Ẽcr| / |Ecr|: how many critical edges the
+compressed graph's own traversal (same root) still has.  §7.2 reports
+spanners preserve ~96/75/57/27 % of critical edges at k = 2/8/32/128.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.bfs import bfs
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["CriticalEdges", "critical_edges", "critical_edge_preservation"]
+
+
+@dataclass(frozen=True)
+class CriticalEdges:
+    """Edge classification of one BFS traversal."""
+
+    root: int
+    critical_mask: np.ndarray  # over canonical edge ids
+    tree_mask: np.ndarray
+    num_reached: int
+
+    @property
+    def num_critical(self) -> int:
+        return int(self.critical_mask.sum())
+
+    @property
+    def num_tree(self) -> int:
+        return int(self.tree_mask.sum())
+
+    @property
+    def num_potential(self) -> int:
+        return self.num_critical - self.num_tree
+
+
+def critical_edges(g: CSRGraph, root: int) -> CriticalEdges:
+    """Classify the canonical edges of ``g`` for a BFS from ``root``."""
+    res = bfs(g, root)
+    lvl = res.level
+    ls, ld = lvl[g.edge_src], lvl[g.edge_dst]
+    reached = (ls >= 0) & (ld >= 0)
+    critical = reached & (np.abs(ls - ld) == 1)
+    # Tree edges: (parent[v], v) for every reached non-root v.
+    tree = np.zeros(g.num_edges, dtype=bool)
+    reached_v = np.flatnonzero((lvl >= 0) & (np.arange(g.n) != root))
+    if len(reached_v):
+        from repro.algorithms.triangles import edge_ids_of_pairs
+
+        eids = edge_ids_of_pairs(g, res.parent[reached_v], reached_v)
+        tree[eids] = True
+    return CriticalEdges(
+        root=root,
+        critical_mask=critical,
+        tree_mask=tree,
+        num_reached=res.num_reached,
+    )
+
+
+def critical_edge_preservation(original: CSRGraph, compressed: CSRGraph, root: int) -> float:
+    """|Ẽcr| / |Ecr| for traversals from the same root (the §7.2 number)."""
+    base = critical_edges(original, root)
+    comp = critical_edges(compressed, root)
+    if base.num_critical == 0:
+        return 1.0
+    return comp.num_critical / base.num_critical

@@ -1,0 +1,80 @@
+"""Degree-distribution analysis (§7.2 Fig. 7, §7.3 Fig. 8).
+
+The paper uses degree-distribution plots as "a visual method of assessing
+the impact of compression" that also works across graphs with different
+vertex counts.  This module computes the plotted quantities — (degree,
+fraction-of-vertices) point clouds — plus two scalar summaries:
+
+- Kolmogorov–Smirnov distance between degree CDFs (how much the
+  distribution moved),
+- a log–log least-squares power-law fit whose residual quantifies the
+  Fig. 7 observation that spanners "strengthen the power law" (residual
+  shrinks as k grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "degree_histogram",
+    "degree_cdf_distance",
+    "PowerLawFit",
+    "fit_power_law",
+]
+
+
+def degree_histogram(g: CSRGraph, *, use_out_degrees: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """(unique degrees ≥ 1, fraction of vertices) — the Fig. 7/8 axes."""
+    deg = g.degrees if use_out_degrees or not g.directed else g.in_degrees
+    deg = deg[deg > 0]
+    if len(deg) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    values, counts = np.unique(deg, return_counts=True)
+    return values, counts / g.n
+
+
+def degree_cdf_distance(a: CSRGraph, b: CSRGraph) -> float:
+    """Kolmogorov–Smirnov distance between the two degree distributions."""
+    da, db = a.degrees, b.degrees
+    hi = int(max(da.max(initial=0), db.max(initial=0))) + 1
+    ca = np.cumsum(np.bincount(da, minlength=hi)) / max(a.n, 1)
+    cb = np.cumsum(np.bincount(db, minlength=hi)) / max(b.n, 1)
+    return float(np.abs(ca - cb).max()) if hi else 0.0
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of log(fraction) = intercept − slope·log(degree)."""
+
+    slope: float
+    intercept: float
+    residual: float  # RMS residual in log-log space; lower = straighter line
+
+    @property
+    def exponent(self) -> float:
+        """The power-law exponent estimate (positive for decaying tails)."""
+        return self.slope
+
+
+def fit_power_law(g: CSRGraph, *, min_degree: int = 1) -> PowerLawFit:
+    """Fit the degree histogram in log–log space.
+
+    The residual is the Fig. 7 "straightness" score: spanners with larger
+    k produce smaller residuals ("strengthen the power law").
+    """
+    values, fractions = degree_histogram(g)
+    mask = values >= min_degree
+    values, fractions = values[mask], fractions[mask]
+    if len(values) < 2:
+        return PowerLawFit(slope=0.0, intercept=0.0, residual=0.0)
+    x = np.log(values.astype(np.float64))
+    y = np.log(fractions)
+    coeffs = np.polyfit(x, y, 1)
+    predicted = np.polyval(coeffs, x)
+    residual = float(np.sqrt(np.mean((y - predicted) ** 2)))
+    return PowerLawFit(slope=float(-coeffs[0]), intercept=float(coeffs[1]), residual=residual)

@@ -1,0 +1,106 @@
+"""Statistical divergences (§5).
+
+For algorithm outputs that form probability distributions (PageRank being
+the paper's flagship case), accuracy of lossy compression is measured with
+divergences.  The paper surveys f-divergences and Bregman divergences and
+selects **Kullback–Leibler** (the unique divergence in both families);
+we implement KL plus the alternatives the survey weighed — Jensen–Shannon,
+Hellinger, total variation, Bhattacharyya — so the selection experiment
+can be rerun.
+
+All functions accept unnormalized nonnegative score vectors and normalize
+internally; KL uses additive smoothing so zero-mass vertices (isolated by
+compression) do not yield infinities — matching how the paper compares
+PageRank across graphs with identical vertex sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalize_distribution",
+    "kl_divergence",
+    "js_divergence",
+    "hellinger_distance",
+    "total_variation",
+    "bhattacharyya_distance",
+    "all_divergences",
+]
+
+
+def normalize_distribution(x, *, smoothing: float = 0.0) -> np.ndarray:
+    """Nonnegative vector → probability distribution (optional additive
+    smoothing before normalization)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("expected a 1-D score vector")
+    if len(x) == 0:
+        raise ValueError("empty distribution")
+    if np.any(x < 0):
+        raise ValueError("scores must be nonnegative")
+    if smoothing < 0:
+        raise ValueError("smoothing must be >= 0")
+    x = x + smoothing
+    total = x.sum()
+    if total <= 0:
+        raise ValueError("distribution has zero total mass; use smoothing > 0")
+    return x / total
+
+
+def _pair(p, q, smoothing: float):
+    p = normalize_distribution(p, smoothing=smoothing)
+    q = normalize_distribution(q, smoothing=smoothing)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have equal length")
+    return p, q
+
+
+def kl_divergence(p, q, *, smoothing: float = 1e-12, base: float = 2.0) -> float:
+    """D_KL(P ‖ Q) = Σ P(i) log(P(i)/Q(i)); ≥ 0, = 0 iff P = Q.
+
+    The deviation of Q (compressed) from P (original); base-2 logs as in
+    the paper's definition.
+    """
+    p, q = _pair(p, q, smoothing)
+    mask = p > 0
+    return float(np.sum(p[mask] * (np.log(p[mask]) - np.log(q[mask]))) / np.log(base))
+
+
+def js_divergence(p, q, *, smoothing: float = 1e-12, base: float = 2.0) -> float:
+    """Jensen–Shannon divergence: symmetrized, bounded KL (∈ [0, 1] base 2)."""
+    p, q = _pair(p, q, smoothing)
+    m = 0.5 * (p + q)
+    return 0.5 * kl_divergence(p, m, smoothing=0.0, base=base) + 0.5 * kl_divergence(
+        q, m, smoothing=0.0, base=base
+    )
+
+
+def hellinger_distance(p, q, *, smoothing: float = 0.0) -> float:
+    """Hellinger distance ∈ [0, 1]: (1/√2)·‖√P − √Q‖₂."""
+    p, q = _pair(p, q, smoothing)
+    return float(np.sqrt(np.sum((np.sqrt(p) - np.sqrt(q)) ** 2)) / np.sqrt(2.0))
+
+
+def total_variation(p, q, *, smoothing: float = 0.0) -> float:
+    """Total variation distance ∈ [0, 1]: (1/2)·‖P − Q‖₁."""
+    p, q = _pair(p, q, smoothing)
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def bhattacharyya_distance(p, q, *, smoothing: float = 1e-12) -> float:
+    """−ln Σ √(P(i)·Q(i)); 0 iff identical."""
+    p, q = _pair(p, q, smoothing)
+    bc = float(np.sum(np.sqrt(p * q)))
+    return float(-np.log(min(max(bc, 1e-300), 1.0)))
+
+
+def all_divergences(p, q) -> dict[str, float]:
+    """Every implemented divergence at once (the §5 selection table)."""
+    return {
+        "kl": kl_divergence(p, q),
+        "js": js_divergence(p, q),
+        "hellinger": hellinger_distance(p, q, smoothing=1e-12),
+        "total_variation": total_variation(p, q, smoothing=1e-12),
+        "bhattacharyya": bhattacharyya_distance(p, q),
+    }

@@ -1,0 +1,33 @@
+"""Scalar-output accuracy: relative changes (§5's "simple tools").
+
+For algorithms with scalar output — number of connected components, MST
+weight, triangle count, matching size — the natural metric is the relative
+change after compression.  Kept trivial on purpose; the value of the
+analytics subsystem is routing each algorithm class to the right metric.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["relative_change", "absolute_change", "is_preserved"]
+
+
+def relative_change(original: float, compressed: float) -> float:
+    """(compressed − original) / |original|; 0 when both are 0."""
+    if original == 0:
+        return 0.0 if compressed == 0 else math.inf
+    return (compressed - original) / abs(original)
+
+
+def absolute_change(original: float, compressed: float) -> float:
+    return compressed - original
+
+
+def is_preserved(original: float, compressed: float, *, rel_tol: float = 0.0) -> bool:
+    """Whether a scalar survived compression (exactly, or within rel_tol)."""
+    if original == compressed:
+        return True
+    if rel_tol <= 0:
+        return False
+    return abs(relative_change(original, compressed)) <= rel_tol

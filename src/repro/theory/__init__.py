@@ -1,0 +1,6 @@
+"""Theoretical bounds of Table 3 as executable predicates."""
+
+from repro.theory import bounds
+from repro.theory.bounds import BoundCheck
+
+__all__ = ["bounds", "BoundCheck"]

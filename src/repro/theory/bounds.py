@@ -1,0 +1,372 @@
+"""Table 3 of the paper as executable predicates.
+
+Every cell of Table 3 ("impact of compression schemes on graph
+properties") becomes a :class:`BoundCheck`: given the measured property on
+the original and compressed graph (plus scheme parameters), it reports the
+bound value and whether the observation satisfies it.  Deterministic
+bounds are checked exactly; expectation / w.h.p. bounds accept a ``slack``
+multiplier (default 1, i.e. exact check — the property-test suite passes
+slack > 1 where the paper itself only claims expectation).
+
+Grouped by scheme row:
+
+- ``uniform_*``   — Simple p-sampling (p = removal probability)
+- ``spectral_*``  — Spectral ε-sparsifier
+- ``spanner_*``   — O(k)-spanner
+- ``eo_tr_*``     — Edge-Once p-1-Triangle-Reduction (§6.1)
+- ``low_degree_*``— remove k degree-1 vertices
+- ``summary_*``   — lossy ε-summary
+- ``subgraph_monotone_*`` — the footnote invariants: any subgraph scheme
+  can only decrease m, d, T, M̂C and only increase path lengths and C.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["BoundCheck"]
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One verified Table 3 cell."""
+
+    name: str
+    kind: str  # "deterministic" | "expectation" | "whp"
+    bound: float
+    observed: float
+    holds: bool
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _le(name, kind, observed, bound) -> BoundCheck:
+    return BoundCheck(name=name, kind=kind, bound=float(bound), observed=float(observed),
+                      holds=bool(observed <= bound + 1e-9))
+
+
+def _ge(name, kind, observed, bound) -> BoundCheck:
+    return BoundCheck(name=name, kind=kind, bound=float(bound), observed=float(observed),
+                      holds=bool(observed >= bound - 1e-9))
+
+
+def _eq(name, kind, observed, expected) -> BoundCheck:
+    return BoundCheck(name=name, kind=kind, bound=float(expected), observed=float(observed),
+                      holds=bool(abs(observed - expected) <= 1e-9))
+
+
+# ===================================================================== #
+# Subgraph-scheme monotonicity (Table 3 footnote): every scheme except
+# degree-1 removal and summaries returns a subgraph, so these must hold
+# deterministically for uniform/spectral/spanner/TR outputs.
+# ===================================================================== #
+
+
+def subgraph_monotone_edges(m_orig: int, m_comp: int) -> BoundCheck:
+    return _le("subgraph: m never increases", "deterministic", m_comp, m_orig)
+
+
+def subgraph_monotone_triangles(t_orig: int, t_comp: int) -> BoundCheck:
+    return _le("subgraph: T never increases", "deterministic", t_comp, t_orig)
+
+
+def subgraph_monotone_max_degree(d_orig: int, d_comp: int) -> BoundCheck:
+    return _le("subgraph: max degree never increases", "deterministic", d_comp, d_orig)
+
+
+def subgraph_monotone_components(c_orig: int, c_comp: int) -> BoundCheck:
+    return _ge("subgraph: #CC never decreases", "deterministic", c_comp, c_orig)
+
+
+def subgraph_monotone_path(p_orig: float, p_comp: float) -> BoundCheck:
+    """Shortest-path lengths never decrease (inf allowed: disconnection)."""
+    return _ge("subgraph: s-t distance never decreases", "deterministic", p_comp, p_orig)
+
+
+def subgraph_monotone_matching(mc_orig: int, mc_comp: int) -> BoundCheck:
+    return _le("subgraph: max matching never increases", "deterministic", mc_comp, mc_orig)
+
+
+# ===================================================================== #
+# Simple p-sampling (p = probability an edge is REMOVED; Table 3 row 3)
+# ===================================================================== #
+
+
+def uniform_edges(m_orig: int, m_comp: int, p: float, *, slack: float = 1.0) -> BoundCheck:
+    """E[m'] = (1-p)·m."""
+    return _le("uniform: E[m'] = (1-p)m", "expectation", abs(m_comp - (1 - p) * m_orig),
+               slack * max(3.0 * math.sqrt(max((1 - p) * p * m_orig, 1.0)), 1.0))
+
+
+def uniform_triangles(t_orig: int, t_comp: int, p: float, *, slack: float = 1.0) -> BoundCheck:
+    """E[T'] = (1-p)³·T (each triangle survives iff its 3 edges survive)."""
+    expected = (1 - p) ** 3 * t_orig
+    return _le("uniform: E[T'] = (1-p)^3 T", "expectation",
+               abs(t_comp - expected), slack * max(4.0 * math.sqrt(max(expected, 1.0)), 1.0))
+
+
+def uniform_components(c_orig: int, c_comp: int, m_orig: int, m_comp: int) -> BoundCheck:
+    """C' ≤ C + (#removed edges): each removal splits at most one CC."""
+    removed = m_orig - m_comp
+    return _le("uniform: C' <= C + removed", "deterministic", c_comp, c_orig + removed)
+
+
+def uniform_coloring(cg_orig: int, cg_comp: int, p: float, *, slack: float = 1.0) -> BoundCheck:
+    """E[C'_G] ≥ (1-p)/2 · C_G (arboricity argument)."""
+    return _ge("uniform: coloring >= (1-p)/2 CG", "expectation",
+               cg_comp * slack, (1 - p) / 2 * cg_orig)
+
+
+def uniform_matching(mc_orig: int, mc_comp: int, p: float, *, slack: float = 1.0) -> BoundCheck:
+    """E[M̂C'] ≥ (1-p)·M̂C (each matching edge survives w.p. 1-p)."""
+    return _ge("uniform: matching >= (1-p) MC", "expectation",
+               mc_comp * slack, (1 - p) * mc_orig)
+
+
+def uniform_max_degree(d_orig: int, d_comp: int, p: float, *, slack: float = 1.0) -> BoundCheck:
+    """E[d'] ≈ (1-p)·d for the max-degree vertex."""
+    return _ge("uniform: max degree >= ~(1-p) d", "expectation",
+               d_comp * slack, (1 - p) * d_orig - 3.0 * math.sqrt(max(p * (1 - p) * d_orig, 1.0)))
+
+
+def uniform_independent_set(is_orig: int, is_comp: int, m_orig: int, m_comp: int) -> BoundCheck:
+    """ÎS' ≤ ÎS + removed: deleting an edge can grow the MIS by ≤ 1."""
+    removed = m_orig - m_comp
+    return _le("uniform: IS' <= IS + removed", "deterministic", is_comp, is_orig + removed)
+
+
+# ===================================================================== #
+# Spectral sparsifier
+# ===================================================================== #
+
+
+def spectral_components(c_orig: int, c_comp: int) -> BoundCheck:
+    """#CC preserved w.h.p. — every vertex keeps incident edges w.h.p."""
+    return _eq("spectral: C' = C (w.h.p.)", "whp", c_comp, c_orig)
+
+
+def spectral_max_degree(d_orig: int, d_comp: int, epsilon: float = 0.5) -> BoundCheck:
+    """d' ≥ d / (2(1+ε)): Laplacian eigenvalue / max-degree relation."""
+    return _ge("spectral: max degree >= d/2(1+eps)", "whp",
+               d_comp, d_orig / (2.0 * (1.0 + epsilon)))
+
+
+def spectral_quadratic_form(ratio_lo: float, ratio_hi: float, epsilon: float) -> BoundCheck:
+    """xᵀL_Hx / xᵀL_Gx ∈ [1-ε, 1+ε] — the sparsifier definition."""
+    worst = max(abs(1.0 - ratio_lo), abs(ratio_hi - 1.0))
+    return _le("spectral: quadratic-form ratio within eps", "whp", worst, epsilon)
+
+
+# ===================================================================== #
+# O(k)-spanner
+# ===================================================================== #
+
+
+def spanner_edges(n: int, m_comp: int, k: float, *, constant: float = 4.0) -> BoundCheck:
+    """m' = O(n^{1+1/k} log k): check against constant · n^{1+1/k}·(1+log k)."""
+    bound = constant * n ** (1.0 + 1.0 / k) * (1.0 + math.log(max(k, 2)))
+    return _le("spanner: m' = O(n^{1+1/k})", "expectation", m_comp, bound)
+
+
+def spanner_distance_stretch(dist_orig: float, dist_comp: float, k: float, *, constant: float = 4.0) -> BoundCheck:
+    """dist_H(u,v) ≤ O(k)·dist_G(u,v) for connected pairs."""
+    if math.isinf(dist_orig):
+        return BoundCheck("spanner: stretch O(k)", "whp", math.inf, dist_comp, True)
+    bound = constant * k * max(dist_orig, 1.0)
+    return _le("spanner: stretch O(k)", "whp", dist_comp, bound)
+
+
+def spanner_components(c_orig: int, c_comp: int) -> BoundCheck:
+    """Spanners keep one edge per adjacent cluster pair + spanning trees:
+    connectivity is preserved deterministically."""
+    return _eq("spanner: C' = C", "deterministic", c_comp, c_orig)
+
+
+def spanner_triangles(n: int, t_comp: int, k: float, *, constant: float = 8.0) -> BoundCheck:
+    """T' = O(n^{1+2/k}) in expectation."""
+    bound = constant * n ** (1.0 + 2.0 / k)
+    return _le("spanner: T' = O(n^{1+2/k})", "expectation", t_comp, bound)
+
+
+def spanner_coloring(n: int, colors: int, k: float, *, constant: float = 4.0) -> BoundCheck:
+    """Greedy coloring with O(n^{1/k} log n) colors exists (§6.2)."""
+    bound = constant * n ** (1.0 / k) * math.log(max(n, 2))
+    return _le("spanner: coloring O(n^{1/k} log n)", "whp", colors, bound)
+
+
+# ===================================================================== #
+# Edge-Once p-1-Triangle Reduction (§6.1)
+# ===================================================================== #
+
+
+def eo_tr_shortest_path(p_orig: float, p_comp: float, p: float, n: int, *, slack: float = 1.0) -> BoundCheck:
+    """dist' ≤ (1+p)·dist w.h.p. (and ≤ 2·dist from the 2-detour argument)."""
+    if math.isinf(p_orig):
+        return BoundCheck("eo-tr: path <= (1+p) path", "whp", math.inf, p_comp, True)
+    bound = slack * (1.0 + p) * p_orig + 2.0 * math.log(max(n, 2)) / max(p_orig, 1.0)
+    return _le("eo-tr: path <= (1+p) path", "whp", p_comp, max(bound, 2.0 * p_orig))
+
+
+def eo_tr_vertex_degree(deg_orig, deg_comp) -> BoundCheck:
+    """Every vertex keeps ≥ ⌈d'/2⌉ edges: TR deletes ≤ d'/2 per vertex.
+
+    Holds under §6.1's edge-disjoint-triangles assumption ("a vertex of
+    degree d' is contained in at most d'/2 edge-disjoint triangles");
+    general overlapping triangles can exceed it.  Accepts arrays; checks
+    the worst vertex.
+    """
+    import numpy as np
+
+    deg_orig = np.asarray(deg_orig, dtype=np.int64)
+    deg_comp = np.asarray(deg_comp, dtype=np.int64)
+    lower = np.ceil(deg_orig / 2.0)
+    worst = float((deg_comp - lower).min()) if len(deg_orig) else 0.0
+    return BoundCheck(
+        name="eo-tr: degree >= ceil(d/2) per vertex",
+        kind="deterministic",
+        bound=0.0,
+        observed=worst,
+        holds=bool(worst >= -1e-9),
+    )
+
+
+def eo_tr_max_degree(d_orig: int, d_comp: int) -> BoundCheck:
+    """d' ≥ d/2 (special case of the per-vertex bound; same edge-disjoint
+    triangles assumption)."""
+    return _ge("eo-tr: max degree >= d/2", "deterministic", d_comp, d_orig / 2.0)
+
+
+def eo_tr_matching(mc_orig: int, mc_comp: int, *, slack: float = 1.0) -> BoundCheck:
+    """E[M̂C'] ≥ (2/3)·M̂C (≤ one of three triangle edges dies, u.a.r.)."""
+    return _ge("eo-tr: matching >= 2/3 MC", "expectation", mc_comp * slack, (2.0 / 3.0) * mc_orig)
+
+
+def eo_tr_coloring(cg_orig: int, cg_comp: int, *, slack: float = 1.0) -> BoundCheck:
+    """E[C'_G] ≥ (1/3)·C_G via the arboricity argument."""
+    return _ge("eo-tr: coloring >= 1/3 CG", "expectation", cg_comp * slack, cg_orig / 3.0)
+
+
+def eo_tr_edges(m_orig: int, m_comp: int, p: float, t: int, dmax: int, *, slack: float = 1.0) -> BoundCheck:
+    """m' ≤ m − pT/(3d) in expectation (each edge shared by ≤ 3d triangles)."""
+    if t == 0:
+        return _le("eo-tr: m' <= m - pT/3d", "expectation", m_comp, m_orig)
+    bound = m_orig - p * t / (3.0 * max(dmax, 1)) / slack
+    return _le("eo-tr: m' <= m - pT/3d", "expectation", m_comp, bound)
+
+
+def eo_tr_components(c_orig: int, c_comp: int) -> BoundCheck:
+    """#CC preserved (exact for edge-disjoint triangles; empirical §7.2)."""
+    return _eq("eo-tr: C' = C", "expectation", c_comp, c_orig)
+
+
+def eo_tr_independent_set(is_orig: int, is_comp: int, p: float, t: int) -> BoundCheck:
+    """ÎS' ≤ ÎS + pT (each reduced triangle frees ≤ 1 vertex)."""
+    return _le("eo-tr: IS' <= IS + pT", "expectation", is_comp, is_orig + p * t + 3 * math.sqrt(max(t, 1)))
+
+
+def tr_mst_weight(w_orig: float, w_comp: float) -> BoundCheck:
+    """Max-weight TR: MST weight preserved exactly (cycle property)."""
+    return _eq("tr-max-weight: MST weight preserved", "deterministic", w_comp, w_orig)
+
+
+# ===================================================================== #
+# Remove k degree-1 vertices (Table 3 last row)
+# ===================================================================== #
+
+
+def low_degree_counts(n_orig: int, m_orig: int, n_comp: int, m_comp: int, k: int) -> BoundCheck:
+    """n' = n − k and m' = m − k (each degree-1 vertex owns one edge)."""
+    ok = (n_comp == n_orig - k) and (m_comp == m_orig - k)
+    return BoundCheck("deg1-removal: n-k and m-k", "deterministic",
+                      float(n_orig - k), float(n_comp), bool(ok))
+
+
+def low_degree_shortest_path(p_orig: float, p_comp: float) -> BoundCheck:
+    """Distances between surviving vertices are unchanged."""
+    return _eq("deg1-removal: distances preserved", "deterministic", p_comp, p_orig)
+
+
+def low_degree_triangles(t_orig: int, t_comp: int) -> BoundCheck:
+    """T unchanged: degree-1 vertices are in no triangle."""
+    return _eq("deg1-removal: T preserved", "deterministic", t_comp, t_orig)
+
+
+def low_degree_betweenness(bc_orig, bc_comp, survivors) -> BoundCheck:
+    """BC of surviving degree->1 interior vertices is preserved exactly
+    (unnormalized counts over surviving pairs; §4.4)."""
+    import numpy as np
+
+    a = np.asarray(bc_orig, dtype=float)[survivors]
+    b = np.asarray(bc_comp, dtype=float)[survivors]
+    diff = float(np.abs(a - b).max()) if len(a) else 0.0
+    return BoundCheck("deg1-removal: BC preserved on survivors", "deterministic",
+                      0.0, diff, bool(diff <= 1e-9))
+
+
+def low_degree_matching(mc_orig: int, mc_comp: int, k: int) -> BoundCheck:
+    """M̂C' ≥ M̂C − k."""
+    return _ge("deg1-removal: matching >= MC - k", "deterministic", mc_comp, mc_orig - k)
+
+
+def low_degree_coloring(cg_orig: int, cg_comp: int) -> BoundCheck:
+    """C'_G ≥ C_G − 1 (a degree-1 vertex uses at most one extra color)."""
+    return _ge("deg1-removal: coloring >= CG - 1", "deterministic", cg_comp, cg_orig - 1)
+
+
+# ===================================================================== #
+# Lossy ε-summary
+# ===================================================================== #
+
+
+def summary_edges(m_orig: int, m_comp: int, epsilon: float) -> BoundCheck:
+    """m' ∈ m ± 2εm: total neighborhood perturbation is ≤ Σ ε·d(v) = 2εm."""
+    return _le("summary: |m' - m| <= 2 eps m", "deterministic",
+               abs(m_comp - m_orig), 2.0 * epsilon * m_orig + 1e-9)
+
+
+def summary_neighborhoods(g_orig, g_comp, epsilon: float) -> BoundCheck:
+    """|N(v) Δ N'(v)| ≤ ε·d(v) + 1 for every vertex — SWeG's guarantee."""
+    import numpy as np
+
+    worst = 0.0
+    for v in range(g_orig.n):
+        sym = len(np.setxor1d(g_orig.neighbors(v), g_comp.neighbors(v)))
+        budget = epsilon * g_orig.degree(v)
+        worst = max(worst, sym - budget)
+    return BoundCheck("summary: per-vertex eps d(v) error", "deterministic",
+                      0.0, float(worst), bool(worst <= 1e-9))
+
+
+def eo_tr_diameter(d_orig: float, d_comp: float, p: float, n: int) -> BoundCheck:
+    """D' ≤ (1+p)·D w.h.p. (§6.1: "a similar reasoning gives the bounds
+    for Diameter"); the 2× detour bound holds outright for intact
+    triangles, so the check uses max((1+p)D + log-slack, 2D)."""
+    if math.isinf(d_orig):
+        return BoundCheck("eo-tr: diameter <= (1+p) D", "whp", math.inf, d_comp, True)
+    bound = max((1.0 + p) * d_orig + 2.0 * math.log(max(n, 2)), 2.0 * d_orig)
+    return _le("eo-tr: diameter <= (1+p) D", "whp", d_comp, bound)
+
+
+def spanner_diameter(d_orig: float, d_comp: float, k: float, *, constant: float = 4.0) -> BoundCheck:
+    """D' = O(k·D) (Table 3's spanner diameter cell)."""
+    if math.isinf(d_orig):
+        return BoundCheck("spanner: diameter O(kD)", "whp", math.inf, d_comp, True)
+    return _le("spanner: diameter O(kD)", "whp", d_comp, constant * k * max(d_orig, 1.0))
+
+
+def spanner_avg_path(p_orig: float, p_comp: float, k: float, *, constant: float = 4.0) -> BoundCheck:
+    """Average path length grows at most O(k)× (Table 3)."""
+    if math.isinf(p_orig):
+        return BoundCheck("spanner: avg path O(k P)", "whp", math.inf, p_comp, True)
+    return _le("spanner: avg path O(k P)", "whp", p_comp, constant * k * max(p_orig, 1.0))
+
+
+def low_degree_diameter(d_orig: float, d_comp: float) -> BoundCheck:
+    """D' ≥ D − 2: removing degree-1 leaves can shorten the diameter by at
+    most the two pendant hops at its endpoints (Table 3, last row)."""
+    if math.isinf(d_orig) or math.isinf(d_comp):
+        return BoundCheck("deg1-removal: D' >= D - 2", "deterministic",
+                          d_orig - 2, d_comp, True)
+    return _ge("deg1-removal: D' >= D - 2", "deterministic", d_comp, d_orig - 2.0)

@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG plumbing, timing, chunking, validation."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timer import Timer
+from repro.utils.chunking import chunk_ranges, balanced_chunks
+from repro.utils.validation import (
+    check_probability,
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "chunk_ranges",
+    "balanced_chunks",
+    "check_probability",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+]

@@ -1,0 +1,52 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or a :class:`numpy.random.Generator`.  All
+randomness flows through :func:`as_generator` so that experiments are
+reproducible bit-for-bit.  Parallel code paths (the kernel engine, the
+simulated distributed ranks) derive independent child streams with
+:func:`spawn_generators`, which uses NumPy's ``SeedSequence.spawn`` to obtain
+statistically independent streams regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int``, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged so streams can be shared
+        deliberately).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Used by the kernel execution engine so every chunk/rank has its own
+    stream: results are then independent of the number of workers used to
+    execute the kernels, which keeps parallel compression deterministic.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive a SeedSequence from the generator's own stream.
+        root = np.random.SeedSequence(seed.integers(0, 2**63 - 1, size=4))
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in root.spawn(count)]

@@ -1,0 +1,90 @@
+"""Lightweight wall-clock timing used by the analytics subsystem.
+
+The paper reports *relative* runtime differences between algorithms running
+on compressed and original graphs (Fig. 5) and relative compression-routine
+costs (§7.4).  ``Timer`` keeps per-label samples so harness code can compute
+means and non-parametric confidence intervals the way the paper's methodology
+section prescribes (first 1% treated as warmup, arithmetic means).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+
+class Timer:
+    """Accumulates named wall-clock samples.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.measure("pagerank"):
+    ...     _ = sum(range(1000))
+    >>> t.mean("pagerank") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[float]] = defaultdict(list)
+
+    @contextmanager
+    def measure(self, label: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self._samples[label].append(time.perf_counter() - start)
+
+    def add_sample(self, label: str, seconds: float) -> None:
+        self._samples[label].append(float(seconds))
+
+    def samples(self, label: str) -> list[float]:
+        return list(self._samples[label])
+
+    def mean(self, label: str, *, warmup_fraction: float = 0.0) -> float:
+        """Arithmetic mean, optionally discarding a leading warmup fraction.
+
+        The paper treats the first 1% of performance data as warmup; pass
+        ``warmup_fraction=0.01`` to follow that methodology.
+        """
+        data = self._samples[label]
+        if not data:
+            raise KeyError(f"no samples recorded for {label!r}")
+        skip = math.floor(len(data) * warmup_fraction)
+        kept = data[skip:] or data
+        return sum(kept) / len(kept)
+
+    def total(self, label: str) -> float:
+        return sum(self._samples[label])
+
+    def labels(self) -> list[str]:
+        return sorted(self._samples)
+
+    def confidence_interval(self, label: str, *, level: float = 0.95):
+        """Non-parametric (order-statistic) CI on the median.
+
+        Mirrors the paper's "95% non-parametric confidence intervals".
+        Returns ``(low, high)``; degenerates to (min, max) for tiny samples.
+        """
+        data = sorted(self._samples[label])
+        n = len(data)
+        if n == 0:
+            raise KeyError(f"no samples recorded for {label!r}")
+        if n < 6:
+            return data[0], data[-1]
+        # Normal approximation to binomial order statistics around the median.
+        z = 1.959963984540054 if abs(level - 0.95) < 1e-9 else _z_for(level)
+        half = z * math.sqrt(n) / 2.0
+        lo = max(0, math.floor(n / 2 - half))
+        hi = min(n - 1, math.ceil(n / 2 + half))
+        return data[lo], data[hi]
+
+
+def _z_for(level: float) -> float:
+    """Inverse normal CDF for the two-sided confidence ``level``."""
+    from scipy.stats import norm
+
+    return float(norm.ppf(0.5 + level / 2.0))

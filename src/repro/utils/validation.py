@@ -1,0 +1,29 @@
+"""Argument validation helpers shared across the public API."""
+
+from __future__ import annotations
+
+
+def check_probability(value: float, name: str = "p") -> float:
+    """Validate that ``value`` lies in [0, 1]; returns it as ``float``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_positive(value, name: str = "value"):
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_nonnegative(value, name: str = "value"):
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(value, low, high, name: str = "value"):
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

@@ -1,0 +1,116 @@
+"""Tests for the analytics subsystem: evaluation harness, sweeps, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.evaluation import (
+    AlgorithmSpec,
+    default_algorithms,
+    evaluate_scheme,
+)
+from repro.analytics.report import format_table, write_csv
+from repro.analytics.tradeoff import sweep
+from repro.compress.uniform import RandomUniformSampling
+from repro.compress.spanner import Spanner
+
+
+class TestEvaluateScheme:
+    def test_default_battery_records(self, plc300):
+        records, compressed = evaluate_scheme(
+            plc300, RandomUniformSampling(0.5), seed=0
+        )
+        names = {r.algorithm for r in records}
+        assert names == {"bfs", "cc", "pr", "tc", "tc_per_vertex"}
+        assert compressed.num_edges < plc300.num_edges
+        by_name = {r.algorithm: r for r in records}
+        assert by_name["pr"].metric_name == "kl_divergence"
+        assert by_name["pr"].metric_value >= 0
+        assert by_name["cc"].metric_name == "relative_change"
+        assert by_name["tc_per_vertex"].metric_name == "reordered_neighbor_pairs"
+        assert by_name["bfs"].metric_name == "critical_edge_preservation"
+        assert 0 <= by_name["bfs"].metric_value <= 1.5
+
+    def test_identity_scheme_perfect_metrics(self, plc300):
+        class Identity:
+            def compress(self, g, *, seed=None):
+                from repro.compress.base import CompressionResult
+
+                return CompressionResult(graph=g, original=g, scheme="id", params={})
+
+        records, _ = evaluate_scheme(plc300, Identity(), seed=0)
+        by_name = {r.algorithm: r for r in records}
+        assert by_name["pr"].metric_value == pytest.approx(0.0, abs=1e-9)
+        assert by_name["cc"].metric_value == 0.0
+        assert by_name["tc_per_vertex"].metric_value == 0.0
+        assert by_name["bfs"].metric_value == pytest.approx(1.0)
+
+    def test_custom_algorithm_kinds(self, plc300):
+        specs = [
+            AlgorithmSpec("edges", lambda g: g.num_edges, "scalar"),
+        ]
+        records, _ = evaluate_scheme(plc300, RandomUniformSampling(0.5), specs, seed=1)
+        assert len(records) == 1
+        assert records[0].metric_value == pytest.approx(-0.5, abs=0.1)
+
+    def test_unknown_kind_rejected(self, plc300):
+        specs = [AlgorithmSpec("x", lambda g: 0, "tensor")]
+        with pytest.raises(ValueError):
+            evaluate_scheme(plc300, RandomUniformSampling(0.5), specs)
+
+    def test_vector_padding_after_collapse(self, plc300):
+        from repro.compress.triangle_reduction import TriangleReduction
+
+        records, _ = evaluate_scheme(
+            plc300, TriangleReduction(0.5, variant="collapse"), seed=2
+        )
+        # Must not raise despite the smaller vertex set.
+        assert any(r.algorithm == "tc_per_vertex" for r in records)
+
+
+class TestSweep:
+    def test_uniform_sweep_monotone_ratio(self, plc300):
+        rows = sweep(
+            plc300,
+            lambda p: RandomUniformSampling(p),
+            [0.2, 0.5, 0.9],
+            algorithms=[AlgorithmSpec("cc", lambda g: 1, "scalar")],
+            seed=0,
+        )
+        ratios = {r.parameter: r.compression_ratio for r in rows}
+        assert ratios[0.2] < ratios[0.5] < ratios[0.9]
+
+    def test_spanner_sweep(self, plc300):
+        rows = sweep(
+            plc300,
+            lambda k: Spanner(k),
+            [2, 8],
+            algorithms=[AlgorithmSpec("m", lambda g: g.num_edges, "scalar")],
+            seed=1,
+        )
+        assert len(rows) == 2
+        assert all(0 < r.compression_ratio <= 1 for r in rows)
+
+    def test_repeats_validation(self, plc300):
+        with pytest.raises(ValueError):
+            sweep(plc300, RandomUniformSampling, [0.5], repeats=0)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(
+            [["s-pok", 0.5, 0.123456], ["v-usa", 1.0, 2.0e-6]],
+            ["graph", "p", "kl"],
+            title="Table 5",
+        )
+        assert "Table 5" in text
+        assert "s-pok" in text
+        assert "kl" in text
+        # Small floats rendered in scientific notation.
+        assert "2.000e-06" in text
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out" / "rows.csv"
+        write_csv([[1, "a"], [2, "b"]], ["id", "name"], path)
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "id,name"
+        assert len(content) == 3

@@ -1,0 +1,118 @@
+"""Tests for uniform sampling and spectral sparsification (§4.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compress.spectral import SpectralSparsifier, edge_keep_probabilities
+from repro.compress.uniform import RandomUniformSampling
+from repro.graphs import generators as gen
+
+
+class TestUniform:
+    def test_expected_ratio(self, er300):
+        res = RandomUniformSampling(0.3).compress(er300, seed=0)
+        expected = 0.3 * er300.num_edges
+        assert abs(res.graph.num_edges - expected) < 4 * math.sqrt(expected)
+
+    def test_p_edge_cases(self, er300):
+        assert RandomUniformSampling(1.0).compress(er300, seed=0).graph.num_edges == er300.num_edges
+        assert RandomUniformSampling(0.0).compress(er300, seed=0).graph.num_edges == 0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            RandomUniformSampling(1.5)
+
+    def test_kernel_path_bit_identical(self, er300):
+        """The vectorized fast path and the serial kernel program consume
+        the identical RNG stream, so the graphs match edge-for-edge."""
+        scheme = RandomUniformSampling(0.5)
+        a = scheme.compress(er300, seed=33).graph
+        b = scheme.compress_via_kernels(er300, seed=33).graph
+        assert np.array_equal(a.edge_src, b.edge_src)
+        assert np.array_equal(a.edge_dst, b.edge_dst)
+
+    def test_result_metadata(self, er300):
+        res = RandomUniformSampling(0.4).compress(er300, seed=1)
+        assert res.scheme == "uniform"
+        assert res.params == {"p": 0.4}
+        assert res.compression_ratio == pytest.approx(
+            res.graph.num_edges / er300.num_edges
+        )
+        assert res.edges_removed == er300.num_edges - res.graph.num_edges
+
+    def test_determinism(self, er300):
+        s = RandomUniformSampling(0.5)
+        a = s.compress(er300, seed=5).graph
+        b = s.compress(er300, seed=5).graph
+        assert np.array_equal(a.edge_src, b.edge_src)
+
+    def test_subgraph_property(self, er300):
+        sub = RandomUniformSampling(0.5).compress(er300, seed=2).graph
+        for u, v in zip(sub.edge_src, sub.edge_dst):
+            assert er300.has_edge(int(u), int(v))
+
+
+class TestSpectral:
+    def test_keep_probability_formula(self, er300):
+        p = 0.4
+        probs = edge_keep_probabilities(er300, p, "logn")
+        deg = er300.degrees
+        upsilon = p * math.log(er300.n)
+        expected = np.minimum(
+            1.0, upsilon / np.minimum(deg[er300.edge_src], deg[er300.edge_dst])
+        )
+        assert np.allclose(probs, expected)
+
+    def test_avgdeg_variant_differs(self, er300):
+        a = edge_keep_probabilities(er300, 0.4, "logn")
+        b = edge_keep_probabilities(er300, 0.4, "avgdeg")
+        assert not np.allclose(a, b)
+        with pytest.raises(ValueError):
+            edge_keep_probabilities(er300, 0.4, "weird")
+
+    def test_reweighting_preserves_expected_weight(self, plc300):
+        """Each kept edge has weight 1/p_uv, so E[total weight] = m."""
+        totals = [
+            SpectralSparsifier(0.5).compress(plc300, seed=s).graph.total_weight()
+            for s in range(8)
+        ]
+        assert np.mean(totals) == pytest.approx(plc300.num_edges, rel=0.1)
+
+    def test_reweight_disabled(self, plc300):
+        res = SpectralSparsifier(0.5, reweight=False).compress(plc300, seed=0)
+        assert not res.graph.is_weighted
+
+    def test_kernel_path_bit_identical(self, plc300):
+        scheme = SpectralSparsifier(0.5)
+        a = scheme.compress(plc300, seed=8).graph
+        b = scheme.compress_via_kernels(plc300, seed=8).graph
+        assert np.array_equal(a.edge_src, b.edge_src)
+        assert np.allclose(a.edge_weights, b.edge_weights)
+
+    def test_degree_aware_bias(self):
+        """Edges at high-degree vertices are removed more often — the §4.2.1
+        cartoon in Fig. 3."""
+        g = gen.rmat(10, 8, seed=1)
+        res = SpectralSparsifier(0.3).compress(g, seed=2)
+        sub = res.graph
+        deg = g.degrees
+        kept_fraction_high = sub.degrees[deg > np.quantile(deg, 0.9)].sum() / max(
+            deg[deg > np.quantile(deg, 0.9)].sum(), 1
+        )
+        kept_fraction_low = sub.degrees[(deg > 0) & (deg <= np.quantile(deg, 0.5))].sum() / max(
+            deg[(deg > 0) & (deg <= np.quantile(deg, 0.5))].sum(), 1
+        )
+        assert kept_fraction_high < kept_fraction_low
+
+    def test_low_degree_vertices_keep_their_edges(self, plc300):
+        """p_uv = 1 whenever min-degree <= Υ: pendant edges always survive."""
+        probs = edge_keep_probabilities(plc300, 0.9, "logn")
+        deg = plc300.degrees
+        dmin = np.minimum(deg[plc300.edge_src], deg[plc300.edge_dst])
+        assert np.all(probs[dmin <= 0.9 * math.log(plc300.n)] == 1.0)
+
+    def test_variant_validation(self):
+        with pytest.raises(ValueError):
+            SpectralSparsifier(0.5, variant="nope")

@@ -1,0 +1,326 @@
+"""Tests for mappings, spanners, and lossy summarization (§4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.components import connected_components
+from repro.compress.mappings import (
+    jaccard_minhash_clustering,
+    jaccard_similarity,
+    low_diameter_decomposition,
+)
+from repro.compress.spanner import Spanner
+from repro.compress.summarization import GraphSummary, LossySummarization
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+
+
+class TestLDD:
+    def test_mapping_covers_all_vertices(self, plc300):
+        ldd = low_diameter_decomposition(plc300, beta=0.5, seed=0)
+        assert ldd.mapping.shape == (plc300.n,)
+        assert ldd.mapping.min() == 0
+        assert ldd.mapping.max() == ldd.num_clusters - 1
+
+    def test_clusters_are_connected(self, plc300):
+        ldd = low_diameter_decomposition(plc300, beta=0.5, seed=0)
+        from repro.graphs.views import induced_subgraph
+
+        for c in range(min(ldd.num_clusters, 20)):
+            members = np.flatnonzero(ldd.mapping == c)
+            sub, _ = induced_subgraph(plc300, members)
+            assert connected_components(sub).num_components == 1
+
+    def test_parent_edges_form_intra_cluster_forest(self, plc300):
+        ldd = low_diameter_decomposition(plc300, beta=0.5, seed=0)
+        eids = ldd.parent_edge_ids
+        for v in range(plc300.n):
+            e = eids[v]
+            if e < 0:
+                continue
+            u, w = int(plc300.edge_src[e]), int(plc300.edge_dst[e])
+            assert v in (u, w)
+            other = u if v == w else w
+            assert ldd.mapping[other] == ldd.mapping[v]
+        # Tree edges count = n - #clusters.
+        assert int((eids >= 0).sum()) == plc300.n - ldd.num_clusters
+
+    def test_beta_controls_cluster_count(self, plc300):
+        few = low_diameter_decomposition(plc300, beta=0.05, seed=1).num_clusters
+        many = low_diameter_decomposition(plc300, beta=5.0, seed=1).num_clusters
+        assert few < many
+
+    def test_beta_validation(self, plc300):
+        with pytest.raises(ValueError):
+            low_diameter_decomposition(plc300, beta=0.0)
+
+
+class TestJaccardClustering:
+    def test_valid_compact_mapping(self, plc300):
+        mapping = jaccard_minhash_clustering(plc300, seed=0)
+        assert mapping.shape == (plc300.n,)
+        assert mapping.max() == len(np.unique(mapping)) - 1
+
+    def test_twins_merge(self):
+        """Vertices with identical neighborhoods must land together."""
+        # Two 'twin' leaves attached to the same clique.
+        g = CSRGraph.from_edges(
+            6, [0, 0, 1, 1, 2, 4, 5, 4, 5], [1, 2, 2, 3, 3, 0, 0, 1, 1]
+        )
+        mapping = jaccard_minhash_clustering(g, threshold=0.5, seed=3)
+        assert mapping[4] == mapping[5]
+
+    def test_cluster_size_cap(self, plc300):
+        mapping = jaccard_minhash_clustering(plc300, threshold=0.0, max_cluster_size=4, seed=1)
+        _, counts = np.unique(mapping, return_counts=True)
+        assert counts.max() <= 4
+
+    def test_jaccard_similarity_values(self, tiny):
+        assert jaccard_similarity(tiny, 0, 0) == 1.0
+        # 0 and 1 are adjacent and share neighbor 2.
+        assert 0 < jaccard_similarity(tiny, 0, 1) <= 1.0
+
+    def test_threshold_validation(self, plc300):
+        with pytest.raises(ValueError):
+            jaccard_minhash_clustering(plc300, threshold=2.0)
+
+
+class TestSpanner:
+    def test_preserves_connectivity(self, plc300):
+        before = connected_components(plc300).num_components
+        for k in (2, 4, 16):
+            res = Spanner(k).compress(plc300, seed=0)
+            assert connected_components(res.graph).num_components == before
+
+    def test_larger_k_sparser(self, plc300):
+        m2 = Spanner(2).compress(plc300, seed=1).graph.num_edges
+        m16 = Spanner(16).compress(plc300, seed=1).graph.num_edges
+        assert m16 <= m2
+
+    def test_stretch_bounded(self, plc300):
+        """Sampled pairwise distances grow by at most O(k)."""
+        k = 4
+        res = Spanner(k).compress(plc300, seed=2)
+        lv0 = bfs(plc300, 0).level
+        lv1 = bfs(res.graph, 0).level
+        reached = lv0 > 0
+        assert np.all(lv1[reached] > 0)  # still reachable
+        stretch = lv1[reached] / lv0[reached]
+        assert stretch.max() <= 4 * k
+
+    def test_edge_budget(self, plc300):
+        """m' = O(n^{1+1/k}): check with a generous constant."""
+        for k in (2, 8):
+            m = Spanner(k).compress(plc300, seed=3).graph.num_edges
+            assert m <= 6 * plc300.n ** (1 + 1 / k) * (1 + np.log(k))
+
+    def test_kernel_path_identical_to_fast_path(self, plc300):
+        """Same seed -> same LDD -> both paths keep exactly the same edges."""
+        scheme = Spanner(4)
+        a = scheme.compress(plc300, seed=5).graph
+        b = scheme.compress_via_kernels(plc300, seed=5).graph
+        assert a.num_edges == b.num_edges
+        assert np.array_equal(a.edge_src, b.edge_src)
+        assert np.array_equal(a.edge_dst, b.edge_dst)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            Spanner(0.5)
+
+
+class TestSummarization:
+    def test_lossless_roundtrip(self, plc300):
+        res = LossySummarization(0.0).compress(plc300, seed=0)
+        assert res.graph.num_edges == plc300.num_edges
+        assert np.array_equal(res.graph.edge_src, plc300.edge_src)
+        assert np.array_equal(res.graph.edge_dst, plc300.edge_dst)
+
+    def test_lossless_roundtrip_many_seeds(self):
+        for seed in range(4):
+            g = gen.powerlaw_cluster(150, 4, 0.7, seed=seed)
+            res = LossySummarization(0.0).compress(g, seed=seed)
+            assert res.graph.num_edges == g.num_edges
+
+    def test_storage_never_exceeds_input(self, plc300):
+        """The MDL rule only creates superedges that shrink the encoding."""
+        res = LossySummarization(0.0).compress(plc300, seed=0)
+        assert res.extras["storage_edges"] <= plc300.num_edges
+
+    def test_epsilon_bounds_neighborhood_error(self, plc300):
+        from repro.theory.bounds import summary_neighborhoods
+
+        eps = 0.4
+        res = LossySummarization(eps).compress(plc300, seed=1)
+        check = summary_neighborhoods(plc300, res.graph, eps)
+        assert check.holds, check
+
+    def test_epsilon_bounds_edge_count(self, plc300):
+        from repro.theory.bounds import summary_edges
+
+        eps = 0.3
+        res = LossySummarization(eps).compress(plc300, seed=2)
+        assert summary_edges(plc300.num_edges, res.graph.num_edges, eps).holds
+
+    def test_larger_epsilon_drops_more(self, plc300):
+        small = LossySummarization(0.1).compress(plc300, seed=3)
+        large = LossySummarization(0.8).compress(plc300, seed=3)
+        diff_small = abs(small.graph.num_edges - plc300.num_edges)
+        diff_large = abs(large.graph.num_edges - plc300.num_edges)
+        assert diff_large >= diff_small
+
+    def test_kernel_path_matches_fast_path_lossless(self, plc300):
+        scheme = LossySummarization(0.0)
+        a = scheme.compress(plc300, seed=4).graph
+        b = scheme.compress_via_kernels(plc300, seed=4).graph
+        assert a.num_edges == b.num_edges == plc300.num_edges
+
+    def test_summary_decompress_dense_cluster(self):
+        """A clique cluster should be encoded as one self-superedge."""
+        g = gen.complete_graph(8)
+        scheme = LossySummarization(0.0, threshold=0.2)
+        summary = scheme.summarize(g, seed=0)
+        assert summary.num_supervertices < 8
+        approx = summary.decompress()
+        assert approx.num_edges == g.num_edges
+
+    def test_summary_object_fields(self, plc300):
+        summary = LossySummarization(0.2).summarize(plc300, seed=5)
+        assert isinstance(summary, GraphSummary)
+        assert summary.storage_edges() == (
+            len(summary.superedges)
+            + len(summary.corrections_plus)
+            + len(summary.corrections_minus)
+        )
+
+    def test_directed_rejected(self):
+        g = CSRGraph.from_edges(3, [0], [1], directed=True)
+        with pytest.raises(ValueError):
+            LossySummarization(0.1).compress(g)
+
+
+class TestSummaryStorage:
+    """Summary serialization: the storage use case of the paper's title."""
+
+    def test_roundtrip(self, plc300, tmp_path):
+        from repro.compress.summarization import (
+            LossySummarization,
+            load_summary,
+            save_summary,
+        )
+
+        summary = LossySummarization(0.2).summarize(plc300, seed=0)
+        path = tmp_path / "summary.npz"
+        save_summary(summary, path)
+        back = load_summary(path)
+        assert back.num_vertices == summary.num_vertices
+        assert back.superedges == summary.superedges
+        assert back.corrections_plus == summary.corrections_plus
+        assert back.corrections_minus == summary.corrections_minus
+        a = summary.decompress()
+        b = back.decompress()
+        assert a.num_edges == b.num_edges
+        assert np.array_equal(a.edge_src, b.edge_src)
+
+    def test_lossless_file_roundtrips_graph(self, plc300, tmp_path):
+        from repro.compress.summarization import (
+            LossySummarization,
+            load_summary,
+            save_summary,
+        )
+
+        summary = LossySummarization(0.0).summarize(plc300, seed=1)
+        path = tmp_path / "lossless.npz"
+        save_summary(summary, path)
+        restored = load_summary(path).decompress()
+        assert restored.num_edges == plc300.num_edges
+        assert np.array_equal(restored.edge_src, plc300.edge_src)
+
+
+class TestApproxListingTR:
+    """§4.3: approximate triangle discovery further reduces TR's cost."""
+
+    def test_approx_listing_is_subset_semantics(self, plc300):
+        from repro.compress.triangle_reduction import TriangleReduction
+
+        exact = TriangleReduction(0.5).compress(plc300, seed=2)
+        approx = TriangleReduction(0.5, approx_listing_p=0.6).compress(plc300, seed=2)
+        # Fewer triangles discovered -> fewer (or equal) edges removed.
+        assert approx.extras["triangles"] <= exact.extras["triangles"]
+        assert approx.edges_removed <= exact.edges_removed
+        # Still a subgraph of the original.
+        for u, v in zip(approx.graph.edge_src, approx.graph.edge_dst):
+            assert plc300.has_edge(int(u), int(v))
+
+    def test_approx_listing_p_one_equals_exact(self, plc300):
+        from repro.compress.triangle_reduction import TriangleReduction
+
+        exact = TriangleReduction(0.7).compress(plc300, seed=3)
+        full = TriangleReduction(0.7, approx_listing_p=1.0).compress(plc300, seed=3)
+        # p=1 subsample keeps every edge: identical triangle set; the
+        # extra RNG draw shifts the stream, so compare counts not bits.
+        assert full.extras["triangles"] == exact.extras["triangles"]
+
+    def test_validation(self):
+        from repro.compress.triangle_reduction import TriangleReduction
+
+        import pytest
+
+        with pytest.raises(ValueError):
+            TriangleReduction(0.5, approx_listing_p=0.0)
+        with pytest.raises(ValueError):
+            TriangleReduction(0.5, approx_listing_p=1.5)
+
+
+class TestWeightedSpanner:
+    """Weighted LDD waves: trees follow light edges, improving weighted
+    SSSP stretch (§7.2's claim for spanners on weighted graphs)."""
+
+    def test_weighted_option_changes_trees(self):
+        from repro.graphs.weights import with_exponential_weights
+
+        g = with_exponential_weights(
+            gen.powerlaw_cluster(300, 5, 0.6, seed=4), 2.0, seed=5
+        )
+        hop = Spanner(4, weighted=False).compress(g, seed=6).graph
+        wtd = Spanner(4, weighted=True).compress(g, seed=6).graph
+        assert not np.array_equal(hop.edge_src, wtd.edge_src)
+
+    def test_weighted_spanner_improves_weighted_stretch(self):
+        from repro.algorithms.sssp import dijkstra
+        from repro.graphs.weights import with_exponential_weights
+
+        g = with_exponential_weights(
+            gen.powerlaw_cluster(300, 5, 0.6, seed=7), 2.0, seed=8
+        )
+        base = dijkstra(g, 0).distance
+
+        def mean_stretch(sub):
+            d = dijkstra(sub, 0).distance
+            both = np.isfinite(base) & np.isfinite(d) & (base > 0)
+            return float(np.mean(d[both] / base[both]))
+
+        stretches_w, stretches_h = [], []
+        for seed in range(3):
+            stretches_h.append(
+                mean_stretch(Spanner(4, weighted=False).compress(g, seed=seed).graph)
+            )
+            stretches_w.append(
+                mean_stretch(Spanner(4, weighted=True).compress(g, seed=seed).graph)
+            )
+        assert np.mean(stretches_w) <= np.mean(stretches_h) + 0.05
+
+    def test_weighted_still_preserves_connectivity(self):
+        from repro.graphs.weights import with_uniform_weights
+
+        g = with_uniform_weights(gen.powerlaw_cluster(200, 4, 0.5, seed=9), seed=10)
+        sub = Spanner(8, weighted=True).compress(g, seed=11).graph
+        assert (
+            connected_components(sub).num_components
+            == connected_components(g).num_components
+        )
+
+    def test_unweighted_graph_ignores_flag(self, plc300):
+        a = Spanner(4, weighted=True).compress(plc300, seed=12).graph
+        b = Spanner(4, weighted=False).compress(plc300, seed=12).graph
+        assert np.array_equal(a.edge_src, b.edge_src)

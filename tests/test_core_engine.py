@@ -1,0 +1,162 @@
+"""Tests for the execution engine, runtime loop, and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_kernels
+from repro.core.kernels import EdgeKernel, TriangleKernel, VertexKernel
+from repro.core.pipeline import Pipeline
+from repro.core.runtime import SlimGraphRuntime
+from repro.core.sg import SG
+from repro.compress.uniform import RandomUniformKernel, RandomUniformSampling
+from repro.compress.spanner import Spanner
+from repro.graphs import generators as gen
+
+
+class DeleteHighDegreeEdges(EdgeKernel):
+    """Toy deterministic kernel: drop edges whose endpoint degrees sum high."""
+
+    def __init__(self, cutoff: int):
+        self.cutoff = cutoff
+
+    def __call__(self, e, sg):
+        if e.u.deg + e.v.deg > self.cutoff:
+            sg.delete(e)
+
+
+class CountingVertexKernel(VertexKernel):
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, v, sg):
+        self.calls += 1
+
+
+class TestRunKernels:
+    def test_vertex_scope_enumerates_all(self, er300):
+        kernel = CountingVertexKernel()
+        sg = SG(er300)
+        result = run_kernels(er300, kernel, sg)
+        assert result.num_instances == er300.n
+        assert kernel.calls == er300.n
+
+    def test_edge_scope(self, er300):
+        sg = SG(er300)
+        kernel = DeleteHighDegreeEdges(0)  # deletes everything
+        result = run_kernels(er300, kernel, sg)
+        assert result.num_deleted_edges == er300.num_edges
+
+    def test_triangle_scope(self, plc300):
+        from repro.algorithms.triangles import count_triangles
+
+        class CountT(TriangleKernel):
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self, t, sg):
+                self.calls += 1
+
+        kernel = CountT()
+        run_kernels(plc300, kernel, SG(plc300))
+        assert kernel.calls == count_triangles(plc300)
+
+    def test_subgraph_scope_requires_mapping(self, er300):
+        from repro.compress.spanner import DeriveSpannerKernel
+
+        with pytest.raises(RuntimeError, match="mapping"):
+            run_kernels(er300, DeriveSpannerKernel(), SG(er300))
+
+    def test_unknown_backend(self, er300):
+        with pytest.raises(ValueError):
+            run_kernels(er300, RandomUniformKernel(), SG(er300, {"p": 0.5}), backend="gpu")
+
+    def test_deterministic_kernel_backend_equivalence(self, er300):
+        """A deterministic kernel gives identical results on every backend."""
+        outputs = []
+        for backend in ("serial", "chunked", "process"):
+            sg = SG(er300)
+            run_kernels(
+                er300, DeleteHighDegreeEdges(12), sg, backend=backend, num_chunks=4, seed=0
+            )
+            outputs.append(sg.buffer.edge_deleted.copy())
+        assert np.array_equal(outputs[0], outputs[1])
+        assert np.array_equal(outputs[0], outputs[2])
+
+    def test_chunked_process_equivalence_random_kernel(self, er300):
+        """Random kernels: chunked and process backends merge identically."""
+        masks = []
+        for backend in ("chunked", "process"):
+            sg = SG(er300, {"p": 0.5})
+            run_kernels(
+                er300, RandomUniformKernel(), sg, backend=backend, num_chunks=4, seed=9
+            )
+            masks.append(sg.buffer.edge_deleted.copy())
+        assert np.array_equal(masks[0], masks[1])
+
+    def test_chunked_worker_count_invariant(self, er300):
+        """Same chunk count -> same result regardless of worker processes."""
+        sg1 = SG(er300, {"p": 0.4})
+        run_kernels(er300, RandomUniformKernel(), sg1, backend="chunked", num_chunks=3, seed=5)
+        sg2 = SG(er300, {"p": 0.4})
+        run_kernels(er300, RandomUniformKernel(), sg2, backend="chunked", num_chunks=3, seed=5)
+        assert np.array_equal(sg1.buffer.edge_deleted, sg2.buffer.edge_deleted)
+
+
+class TestRuntime:
+    def test_single_round_for_nonconverging_schemes(self, er300):
+        runtime = SlimGraphRuntime(RandomUniformKernel(), params={"p": 0.5})
+        result = runtime.run(er300, seed=0)
+        assert result.rounds == 1
+        assert result.graph.num_edges < er300.num_edges
+
+    def test_subgraph_requires_mapping_fn(self, er300):
+        from repro.compress.spanner import DeriveSpannerKernel
+
+        runtime = SlimGraphRuntime(DeriveSpannerKernel())
+        with pytest.raises(RuntimeError, match="mapping_fn"):
+            runtime.run(er300)
+
+    def test_spanner_through_runtime(self, plc300):
+        scheme = Spanner(4)
+        runtime = SlimGraphRuntime(
+            scheme.make_kernel(), mapping_fn=scheme.mapping_fn(), params={}
+        )
+        result = runtime.run(plc300, seed=2)
+        assert result.graph.num_edges < plc300.num_edges
+        from repro.algorithms.components import connected_components
+
+        assert (
+            connected_components(result.graph).num_components
+            == connected_components(plc300).num_components
+        )
+
+    def test_max_rounds_bound(self, er300):
+        class NeverConverges(VertexKernel):
+            def __call__(self, v, sg):
+                sg.update_convergence(False)
+
+        runtime = SlimGraphRuntime(NeverConverges(), max_rounds=3)
+        result = runtime.run(er300)
+        assert result.rounds == 3
+
+
+class TestPipeline:
+    def test_pipeline_result_fields(self, er300):
+        from repro.algorithms.components import connected_components
+
+        pipe = Pipeline(RandomUniformSampling(0.5), lambda g: connected_components(g).num_components)
+        res = pipe.run(er300, seed=1)
+        assert 0.0 < res.compression_ratio < 1.0
+        assert res.edge_reduction == pytest.approx(1.0 - res.compression_ratio)
+        assert res.original_output == connected_components(er300).num_components
+        assert res.compression_seconds > 0
+
+    def test_pipeline_with_plain_callable(self, er300):
+        pipe = Pipeline(lambda g: g, lambda g: g.num_edges)
+        res = pipe.run(er300)
+        assert res.compression_ratio == 1.0
+        assert res.original_output == res.compressed_output
+
+    def test_repeats_validation(self, er300):
+        with pytest.raises(ValueError):
+            Pipeline(lambda g: g, lambda g: 0, repeats=0)

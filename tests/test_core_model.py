@@ -1,0 +1,188 @@
+"""Tests for the programming model: views, SG, atomic buffers."""
+
+import numpy as np
+import pytest
+
+from repro.core.atomic import DeletionBuffer, EdgeFlags
+from repro.core.kernels import EdgeView, SubgraphView, TriangleView, VertexView
+from repro.core.sg import SG
+from repro.graphs.csr import CSRGraph
+
+
+class TestViews:
+    def test_vertex_view(self, tiny):
+        v = VertexView(tiny, 1)
+        assert v.deg == 3
+        assert v.neighbors.tolist() == [0, 2, 3]
+        assert len(v.incident_edge_ids) == 3
+
+    def test_edge_view_exposes_paper_fields(self, tiny):
+        e = EdgeView(tiny, tiny.edge_id(0, 1))
+        assert {e.u.id, e.v.id} == {0, 1}
+        assert e.u.deg == tiny.degree(e.u.id)
+        assert e.weight == 1.0
+
+    def test_edge_view_weighted(self, tiny):
+        wg = tiny.with_weights(np.arange(5, dtype=float) + 1)
+        e = EdgeView(wg, 2)
+        assert e.weight == 3.0
+
+    def test_triangle_view(self, tiny):
+        eids = (tiny.edge_id(0, 1), tiny.edge_id(0, 2), tiny.edge_id(1, 2))
+        t = TriangleView(tiny, (0, 1, 2), eids)
+        assert t.weights.tolist() == [1.0, 1.0, 1.0]
+        assert t.max_weight_edge() == min(eids)  # tie -> lowest id
+        assert [e.id for e in t.edges()] == list(eids)
+
+    def test_triangle_max_weight_edge(self, tiny):
+        w = np.array([1.0, 5.0, 2.0, 1.0, 1.0])
+        wg = tiny.with_weights(w)
+        eids = (wg.edge_id(0, 1), wg.edge_id(0, 2), wg.edge_id(1, 2))
+        t = TriangleView(wg, (0, 1, 2), eids)
+        assert t.max_weight_edge() == int(np.argmax(w[list(eids)])) and True
+        assert wg.weight_of(t.max_weight_edge()) == max(w[list(eids)])
+
+    def test_subgraph_view(self, tiny):
+        mapping = np.array([0, 0, 0, 1, 1])
+        sub = SubgraphView(tiny, 0, np.array([0, 1, 2]), mapping)
+        assert len(sub) == 3
+        internal = sub.internal_edge_ids()
+        assert sorted(internal.tolist()) == sorted(
+            [tiny.edge_id(0, 1), tiny.edge_id(0, 2), tiny.edge_id(1, 2)]
+        )
+        out_eids, out_clusters = sub.out_edges()
+        assert out_eids.tolist() == [tiny.edge_id(1, 3)]
+        assert out_clusters.tolist() == [1]
+        assert sub.neighborhood_union().tolist() == [3]
+
+
+class TestDeletionBuffer:
+    def test_apply_edge_deletions(self, tiny):
+        buf = DeletionBuffer(tiny.n, tiny.num_edges)
+        buf.delete_edge(0)
+        buf.delete_edges([2, 2])
+        out = buf.apply(tiny)
+        assert out.num_edges == 3
+        assert buf.num_deleted_edges == 2
+
+    def test_apply_vertex_deletions(self, tiny):
+        buf = DeletionBuffer(tiny.n, tiny.num_edges)
+        buf.delete_vertex(1)
+        out = buf.apply(tiny)
+        assert out.n == tiny.n
+        assert out.degree(1) == 0
+
+    def test_apply_relabel(self, tiny):
+        buf = DeletionBuffer(tiny.n, tiny.num_edges)
+        buf.delete_vertex(4)
+        out = buf.apply(tiny, relabel_vertices=True)
+        assert out.n == 4
+
+    def test_weight_updates(self, tiny):
+        buf = DeletionBuffer(tiny.n, tiny.num_edges)
+        buf.set_weight(0, 42.0)
+        out = buf.apply(tiny)
+        assert out.is_weighted
+        assert out.weight_of(0) == 42.0
+
+    def test_weight_update_then_delete_other(self, tiny):
+        buf = DeletionBuffer(tiny.n, tiny.num_edges)
+        buf.set_weight(4, 9.0)
+        buf.delete_edge(0)
+        out = buf.apply(tiny)
+        assert out.num_edges == 4
+        # Edge 4 is renumbered after deletion of edge 0 but keeps weight.
+        assert 9.0 in out.edge_weights
+
+    def test_merge_is_union(self, tiny):
+        a = DeletionBuffer(tiny.n, tiny.num_edges)
+        b = DeletionBuffer(tiny.n, tiny.num_edges)
+        a.delete_edge(0)
+        b.delete_edge(1)
+        b.delete_vertex(4)
+        a.merge(b)
+        assert a.num_deleted_edges == 2
+        assert a.num_deleted_vertices == 1
+
+    def test_shape_mismatch(self, tiny):
+        buf = DeletionBuffer(3, 2)
+        with pytest.raises(ValueError):
+            buf.apply(tiny)
+
+
+class TestEdgeFlags:
+    def test_test_and_set(self):
+        flags = EdgeFlags(3)
+        assert flags.test_and_set(1) is True
+        assert flags.test_and_set(1) is False
+        assert flags.test_and_set(0) is True
+
+    def test_merge(self):
+        a, b = EdgeFlags(3), EdgeFlags(3)
+        a.test_and_set(0)
+        b.test_and_set(2)
+        a.merge(b)
+        assert not a.test_and_set(2)
+
+
+class TestSG:
+    def test_params_and_p(self, tiny):
+        sg = SG(tiny, {"p": 0.3})
+        assert sg.p == 0.3
+        assert sg.param("missing", 7) == 7
+
+    def test_rand_range(self, tiny):
+        sg = SG(tiny, seed=0)
+        values = [sg.rand() for _ in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) > 90
+
+    def test_rand_choice(self, tiny):
+        sg = SG(tiny, seed=0)
+        pool = [10, 20, 30]
+        assert all(sg.rand_choice(pool) in pool for _ in range(20))
+
+    def test_delete_overloads(self, tiny):
+        sg = SG(tiny)
+        sg.delete(EdgeView(tiny, 0))
+        sg.delete(VertexView(tiny, 4))
+        sg.delete(2)
+        assert sg.buffer.edge_deleted[0] and sg.buffer.edge_deleted[2]
+        assert sg.buffer.vertex_deleted[4]
+        with pytest.raises(TypeError):
+            sg.delete("edge")
+
+    def test_delete_triangle_view(self, tiny):
+        sg = SG(tiny)
+        t = TriangleView(tiny, (0, 1, 2), (0, 1, 2))
+        sg.delete(t)
+        assert sg.buffer.num_deleted_edges == 3
+
+    def test_considered_once(self, tiny):
+        sg = SG(tiny)
+        assert sg.considered_once(1)
+        assert not sg.considered_once(1)
+
+    def test_spectral_parameter_variants(self, tiny):
+        import math
+
+        sg = SG(tiny, {"p": 0.5, "spectral_variant": "logn"})
+        assert sg.connectivity_spectral_parameter() == pytest.approx(
+            0.5 * math.log(5)
+        )
+        sg.params["spectral_variant"] = "avgdeg"
+        assert sg.connectivity_spectral_parameter() == pytest.approx(0.5 * 5 / 5)
+        sg.params["spectral_variant"] = "bogus"
+        with pytest.raises(ValueError):
+            sg.connectivity_spectral_parameter()
+
+    def test_convergence_voting(self, tiny):
+        sg = SG(tiny)
+        sg.update_convergence(True)
+        assert sg.converged
+        sg.update_convergence(False)
+        assert not sg.converged
+        sg.update_convergence(True)
+        assert not sg.converged  # any False vote sticks for the round
+        sg.fresh_buffers()
+        assert sg.converged

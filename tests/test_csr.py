@@ -1,0 +1,193 @@
+"""Unit tests for the CSR graph core."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = CSRGraph.empty(4)
+        assert g.n == 4
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+        g.validate()
+
+    def test_basic_undirected(self, tiny):
+        assert tiny.n == 5
+        assert tiny.num_edges == 5
+        assert not tiny.directed
+        tiny.validate()
+
+    def test_neighbors_sorted(self, tiny):
+        assert tiny.neighbors(1).tolist() == [0, 2, 3]
+        assert tiny.neighbors(4).tolist() == [3]
+
+    def test_degrees(self, tiny):
+        assert tiny.degrees.tolist() == [2, 3, 2, 2, 1]
+        assert tiny.degree(1) == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSRGraph(3, np.array([0]), np.array([5]))
+
+    def test_rejects_non_canonical_undirected(self):
+        with pytest.raises(ValueError, match="src < dst"):
+            CSRGraph(3, np.array([2]), np.array([1]))
+
+    def test_rejects_self_loop_directed(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            CSRGraph(3, np.array([1]), np.array([1]), directed=True)
+
+    def test_rejects_negative_vertices(self):
+        with pytest.raises(ValueError):
+            CSRGraph(-1, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    def test_weight_shape_checked(self):
+        with pytest.raises(ValueError, match="weights"):
+            CSRGraph(3, np.array([0]), np.array([1]), np.array([1.0, 2.0]))
+
+
+class TestFromEdges:
+    def test_canonicalizes_and_drops_self_loops(self):
+        g = CSRGraph.from_edges(4, [2, 1, 3, 0], [0, 1, 2, 0])
+        # (1,1) and (0,0) dropped; (2,0) flipped to (0,2); (3,2)->(2,3)
+        assert g.num_edges == 2
+        assert g.has_edge(0, 2) and g.has_edge(2, 3)
+
+    def test_dedup_first(self):
+        g = CSRGraph.from_edges(3, [0, 1, 0], [1, 0, 1], [5.0, 7.0, 9.0])
+        assert g.num_edges == 1
+        assert g.weight_of(0) == 5.0
+
+    def test_dedup_sum(self):
+        g = CSRGraph.from_edges(3, [0, 1, 0], [1, 0, 1], [5.0, 7.0, 9.0], dedup="sum")
+        assert g.weight_of(0) == 21.0
+
+    def test_dedup_min_max(self):
+        g = CSRGraph.from_edges(3, [0, 1], [1, 0], [5.0, 2.0], dedup="min")
+        assert g.weight_of(0) == 2.0
+        g = CSRGraph.from_edges(3, [0, 1], [1, 0], [5.0, 2.0], dedup="max")
+        assert g.weight_of(0) == 5.0
+
+    def test_dedup_unknown_policy(self):
+        with pytest.raises(ValueError, match="dedup"):
+            CSRGraph.from_edges(3, [0, 0], [1, 1], [1.0, 1.0], dedup="avg")
+
+    def test_directed_keeps_both_orientations(self):
+        g = CSRGraph.from_edges(3, [0, 1], [1, 0], directed=True)
+        assert g.num_edges == 2
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(1).tolist() == [0]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(3, [0, 1], [1])
+
+
+class TestQueries:
+    def test_has_edge(self, tiny):
+        assert tiny.has_edge(0, 1) and tiny.has_edge(1, 0)
+        assert not tiny.has_edge(0, 4)
+
+    def test_edge_id_roundtrip(self, tiny):
+        for e in range(tiny.num_edges):
+            u, v = int(tiny.edge_src[e]), int(tiny.edge_dst[e])
+            assert tiny.edge_id(u, v) == e
+            assert tiny.edge_id(v, u) == e
+
+    def test_edge_id_missing(self, tiny):
+        with pytest.raises(KeyError):
+            tiny.edge_id(0, 4)
+
+    def test_incident_edge_ids_match_neighbors(self, tiny):
+        for v in range(tiny.n):
+            for u, e in zip(tiny.neighbors(v), tiny.incident_edge_ids(v)):
+                endpoints = {int(tiny.edge_src[e]), int(tiny.edge_dst[e])}
+                assert endpoints == {v, int(u)}
+
+    def test_neighbor_weights_unweighted(self, tiny):
+        assert tiny.neighbor_weights(1).tolist() == [1.0, 1.0, 1.0]
+
+    def test_total_weight(self, tiny):
+        assert tiny.total_weight() == 5.0
+        wg = tiny.with_weights(np.full(5, 2.5))
+        assert wg.total_weight() == 12.5
+
+    def test_in_degrees_directed(self):
+        g = CSRGraph.from_edges(3, [0, 1, 2], [1, 2, 1], directed=True)
+        assert g.in_degrees.tolist() == [0, 2, 1]
+        assert g.degrees.tolist() == [1, 1, 1]
+
+
+class TestDerivation:
+    def test_keep_edges(self, tiny):
+        mask = np.array([True, False, True, False, True])
+        sub = tiny.keep_edges(mask)
+        assert sub.num_edges == 3
+        assert sub.n == tiny.n  # vertex set preserved
+        sub.validate()
+
+    def test_keep_edges_bad_mask(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.keep_edges(np.ones(3, dtype=bool))
+
+    def test_delete_edges(self, tiny):
+        sub = tiny.delete_edges([0, 0, 4])  # duplicates fine
+        assert sub.num_edges == 3
+        assert not sub.has_edge(3, 4)
+
+    def test_remove_vertices_keeps_ids(self, tiny):
+        sub = tiny.remove_vertices([4])
+        assert sub.n == 5
+        assert sub.degree(4) == 0
+        assert sub.num_edges == 4
+
+    def test_remove_vertices_relabel(self, tiny):
+        sub = tiny.remove_vertices([4], relabel=True)
+        assert sub.n == 4
+        assert sub.num_edges == 4
+        sub.validate()
+
+    def test_with_weights_roundtrip(self, tiny):
+        w = np.arange(5, dtype=float) + 1
+        wg = tiny.with_weights(w)
+        assert wg.is_weighted
+        back = wg.with_weights(None)
+        assert not back.is_weighted
+
+    def test_relabeled_contracts(self, tiny):
+        # Merge vertices 0,1,2 (the triangle) into one vertex.
+        mapping = np.array([0, 0, 0, 1, 2])
+        sub = tiny.relabeled(mapping, 3)
+        assert sub.n == 3
+        # Triangle edges vanish as self-loops; (1,3) -> (0,1); (3,4) -> (1,2)
+        assert sub.num_edges == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+    def test_relabeled_shape_checked(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.relabeled(np.array([0, 1]), 2)
+
+    def test_to_undirected(self):
+        g = CSRGraph.from_edges(3, [0, 1], [1, 0], directed=True)
+        u = g.to_undirected()
+        assert not u.directed
+        assert u.num_edges == 1
+
+
+class TestInterop:
+    def test_to_scipy_symmetric(self, tiny):
+        mat = tiny.to_scipy()
+        assert mat.shape == (5, 5)
+        assert (mat != mat.T).nnz == 0
+        assert mat.nnz == 2 * tiny.num_edges
+
+    def test_to_scipy_weighted(self, tiny):
+        w = np.arange(5, dtype=float) + 1
+        mat = tiny.with_weights(w).to_scipy()
+        assert mat[0, 1] == mat[1, 0] == w[tiny.edge_id(0, 1)]
+
+    def test_repr(self, tiny):
+        assert "n=5" in repr(tiny) and "m=5" in repr(tiny)

@@ -1,0 +1,89 @@
+"""Property-based tests of CSR structural invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.csr import CSRGraph
+
+
+@st.composite
+def raw_edge_lists(draw, max_n=30, max_m=120):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, src, dst
+
+
+@given(raw_edge_lists())
+@settings(max_examples=80, deadline=None)
+def test_from_edges_invariants(data):
+    n, src, dst = data
+    g = CSRGraph.from_edges(n, src, dst)
+    g.validate()
+    # No duplicates, no self-loops, canonical orientation.
+    assert np.all(g.edge_src < g.edge_dst)
+    keys = g.edge_src * np.int64(n) + g.edge_dst
+    assert len(np.unique(keys)) == g.num_edges
+    # Degree sum = 2m.
+    assert int(g.degrees.sum()) == 2 * g.num_edges
+    # Every input non-loop pair is present.
+    for u, v in zip(src, dst):
+        if u != v:
+            assert g.has_edge(u, v)
+
+
+@given(raw_edge_lists(), st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_keep_edges_is_subgraph(data, seed):
+    n, src, dst = data
+    g = CSRGraph.from_edges(n, src, dst)
+    rng = np.random.default_rng(seed)
+    mask = rng.random(g.num_edges) < 0.5
+    sub = g.keep_edges(mask)
+    sub.validate()
+    assert sub.n == g.n
+    assert sub.num_edges == int(mask.sum())
+    # Subgraph property: every kept edge exists in the original.
+    for u, v in zip(sub.edge_src, sub.edge_dst):
+        assert g.has_edge(int(u), int(v))
+    # Degrees can only drop.
+    assert np.all(sub.degrees <= g.degrees)
+
+
+@given(raw_edge_lists())
+@settings(max_examples=50, deadline=None)
+def test_edge_id_cross_reference(data):
+    n, src, dst = data
+    g = CSRGraph.from_edges(n, src, dst)
+    for v in range(min(g.n, 10)):
+        for u, e in zip(g.neighbors(v), g.incident_edge_ids(v)):
+            assert {int(g.edge_src[e]), int(g.edge_dst[e])} == {v, int(u)}
+
+
+@given(raw_edge_lists(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_remove_vertices_consistency(data, seed):
+    n, src, dst = data
+    g = CSRGraph.from_edges(n, src, dst)
+    rng = np.random.default_rng(seed)
+    victims = np.flatnonzero(rng.random(n) < 0.3)
+    kept_ids = g.remove_vertices(victims)
+    relabeled = g.remove_vertices(victims, relabel=True)
+    assert kept_ids.num_edges == relabeled.num_edges
+    assert kept_ids.n == g.n
+    assert relabeled.n == g.n - len(victims)
+    # No surviving edge touches a victim.
+    gone = set(victims.tolist())
+    for u, v in zip(kept_ids.edge_src, kept_ids.edge_dst):
+        assert int(u) not in gone and int(v) not in gone
+
+
+@given(raw_edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_scipy_roundtrip_degrees(data):
+    n, src, dst = data
+    g = CSRGraph.from_edges(n, src, dst)
+    mat = g.to_scipy()
+    row_nnz = np.diff(mat.indptr)
+    assert np.array_equal(row_nnz, g.degrees)

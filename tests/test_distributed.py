@@ -1,0 +1,149 @@
+"""Tests for the simulated distributed compression pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.compress.spectral import SpectralSparsifier
+from repro.compress.uniform import RandomUniformSampling
+from repro.distributed.engine import distributed_spectral, distributed_uniform_sampling
+from repro.distributed.partition import EdgePartition
+from repro.distributed.rma import RMAError, Window
+from repro.graphs import generators as gen
+
+
+class TestPartition:
+    def test_contiguous_tiles_exactly(self, er300):
+        part = EdgePartition.contiguous(er300, 7)
+        part.validate(er300.num_edges)
+        assert sum(hi - lo for lo, hi in part.ranges) == er300.num_edges
+
+    def test_balanced_tiles_exactly(self):
+        g = gen.rmat(9, 8, seed=0)
+        part = EdgePartition.balanced(g, 5)
+        part.validate(g.num_edges)
+        # Balanced partitions should not be wildly skewed in weight.
+        deg = g.degrees
+        w = deg[g.edge_src] + deg[g.edge_dst]
+        loads = [w[lo:hi].sum() for lo, hi in part.ranges]
+        assert max(loads) < 3 * min(loads)
+
+    def test_owner_of(self, er300):
+        part = EdgePartition.contiguous(er300, 4)
+        for rank, (lo, hi) in enumerate(part.ranges):
+            assert part.owner_of(lo) == rank
+            assert part.owner_of(hi - 1) == rank
+        with pytest.raises(KeyError):
+            part.owner_of(er300.num_edges)
+
+    def test_more_ranks_than_edges(self):
+        g = gen.path_graph(3)
+        part = EdgePartition.contiguous(g, 10)
+        part.validate(g.num_edges)
+
+    def test_validation(self, er300):
+        with pytest.raises(ValueError):
+            EdgePartition.contiguous(er300, 0)
+
+
+class TestWindow:
+    def test_put_get_roundtrip(self):
+        win = Window(10, dtype="int64")
+        win.fence()
+        win.put(2, [5, 6, 7])
+        assert win.get(2, 3).tolist() == [5, 6, 7]
+        win.fence()
+
+    def test_access_requires_epoch_or_lock(self):
+        win = Window(4)
+        with pytest.raises(RMAError, match="epoch"):
+            win.put(0, [1])
+        win.lock(0)
+        win.put(0, [1])
+        win.unlock(0)
+        with pytest.raises(RMAError):
+            win.get(0, 1)
+
+    def test_lock_discipline(self):
+        win = Window(4)
+        win.lock(1)
+        with pytest.raises(RMAError, match="locked"):
+            win.lock(2)
+        with pytest.raises(RMAError, match="lock"):
+            win.unlock(2)
+        win.unlock(1)
+
+    def test_bounds_checked(self):
+        win = Window(4)
+        win.fence()
+        with pytest.raises(RMAError):
+            win.put(3, [1, 2])
+        with pytest.raises(RMAError):
+            win.get(-1, 2)
+
+    def test_accumulate_ops(self):
+        win = Window(3, dtype="int64")
+        win.fence()
+        win.put(0, [1, 5, 3])
+        win.accumulate(0, [2, 2, 2], op="sum")
+        assert win.get(0, 3).tolist() == [3, 7, 5]
+        win.accumulate(0, [4, 0, 9], op="max")
+        assert win.get(0, 3).tolist() == [4, 7, 9]
+        win.accumulate(0, [1, 1, 1], op="min")
+        assert win.get(0, 3).tolist() == [1, 1, 1]
+        with pytest.raises(ValueError):
+            win.accumulate(0, [1], op="xor")
+
+    def test_shared_memory_backend(self):
+        with Window(8, dtype="uint8", shared=True) as win:
+            win.fence()
+            win.put(0, [1] * 8)
+            attached = Window(8, dtype="uint8", shared=True, name=win.name)
+            attached.fence()
+            assert attached.get(0, 8).tolist() == [1] * 8
+            attached._shm.close()
+
+
+class TestDistributedEngine:
+    def test_rank_count_invariance(self, er300):
+        graphs = [
+            distributed_uniform_sampling(er300, 0.5, num_ranks=r, seed=7).result.graph
+            for r in (1, 3, 8)
+        ]
+        for g in graphs[1:]:
+            assert np.array_equal(graphs[0].edge_src, g.edge_src)
+
+    def test_backend_invariance(self, er300):
+        a = distributed_uniform_sampling(
+            er300, 0.4, num_ranks=4, seed=2, backend="inprocess"
+        ).result.graph
+        b = distributed_uniform_sampling(
+            er300, 0.4, num_ranks=4, seed=2, backend="process"
+        ).result.graph
+        assert np.array_equal(a.edge_src, b.edge_src)
+
+    def test_matches_single_node_scheme(self, er300):
+        dist = distributed_uniform_sampling(er300, 0.6, num_ranks=5, seed=9).result.graph
+        single = RandomUniformSampling(0.6).compress(er300, seed=9).graph
+        assert np.array_equal(dist.edge_src, single.edge_src)
+
+    def test_spectral_matches_single_node(self, plc300):
+        dist = distributed_spectral(plc300, 0.5, num_ranks=3, seed=4).result.graph
+        single = SpectralSparsifier(0.5).compress(plc300, seed=4).graph
+        assert np.array_equal(dist.edge_src, single.edge_src)
+        assert np.allclose(dist.edge_weights, single.edge_weights)
+
+    def test_per_rank_accounting(self, er300):
+        res = distributed_uniform_sampling(er300, 0.5, num_ranks=4, seed=1)
+        assert sum(res.edges_per_rank) == er300.num_edges
+        assert sum(res.deleted_per_rank) == er300.num_edges - res.result.graph.num_edges
+
+    def test_unknown_backend(self, er300):
+        with pytest.raises(ValueError):
+            distributed_uniform_sampling(er300, 0.5, backend="mpi")
+
+    def test_directed_web_graph(self):
+        """Fig. 8 runs on directed crawls."""
+        g = gen.rmat(9, 6, seed=0, directed=True)
+        res = distributed_uniform_sampling(g, 0.4, num_ranks=4, seed=3)
+        assert res.result.graph.directed
+        assert res.result.graph.num_edges < g.num_edges

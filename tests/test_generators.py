@@ -1,0 +1,150 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.generators import _decode_pair_ranks
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = gen.erdos_renyi(50, m=200, seed=0)
+        assert g.num_edges == 200
+        g.validate()
+
+    def test_p_variant_expectation(self):
+        n, p = 200, 0.05
+        g = gen.erdos_renyi(n, p=p, seed=1)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 5 * np.sqrt(expected)
+
+    def test_decode_pair_ranks_exhaustive(self):
+        for n in (2, 3, 5, 9):
+            total = n * (n - 1) // 2
+            u, v = _decode_pair_ranks(np.arange(total), n)
+            expected = [(a, b) for a in range(n) for b in range(a + 1, n)]
+            assert list(zip(u.tolist(), v.tolist())) == expected
+
+    def test_rejects_both_p_and_m(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(10, p=0.5, m=5)
+
+    def test_rejects_too_many_edges(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(4, m=100)
+
+    def test_deterministic(self):
+        a = gen.erdos_renyi(40, m=100, seed=9)
+        b = gen.erdos_renyi(40, m=100, seed=9)
+        assert np.array_equal(a.edge_src, b.edge_src)
+
+
+class TestRMAT:
+    def test_size_and_powerlaw(self):
+        g = gen.rmat(10, 8, seed=3)
+        assert g.n == 1024
+        assert 0 < g.num_edges <= 8 * 1024
+        # Heavy tail: the max degree should far exceed the average.
+        assert g.degrees.max() > 5 * g.degrees.mean()
+
+    def test_directed(self):
+        g = gen.rmat(8, 4, seed=2, directed=True)
+        assert g.directed
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            gen.rmat(5, 4, a=0.8, b=0.3, c=0.3)
+
+
+class TestPreferentialAttachment:
+    def test_ba_edge_count(self):
+        g = gen.barabasi_albert(200, 3, seed=4)
+        assert g.n == 200
+        # (n - m_attach) * m_attach edges added; dedup can only reduce.
+        assert g.num_edges <= (200 - 3) * 3
+        assert g.num_edges > 0.9 * (200 - 3) * 3
+
+    def test_ba_validation(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(5, 5)
+
+    def test_powerlaw_cluster_triangles(self):
+        from repro.algorithms.triangles import count_triangles
+
+        lo = gen.powerlaw_cluster(200, 4, 0.0, seed=5)
+        hi = gen.powerlaw_cluster(200, 4, 0.95, seed=5)
+        assert count_triangles(hi) > count_triangles(lo)
+
+
+class TestStructured:
+    def test_grid_triangle_free(self):
+        from repro.algorithms.triangles import count_triangles
+
+        g = gen.grid_2d(6, 7)
+        assert g.n == 42
+        assert g.num_edges == 6 * 6 + 5 * 7
+        assert count_triangles(g) == 0
+
+    def test_grid_diagonals_have_triangles(self):
+        from repro.algorithms.triangles import count_triangles
+
+        g = gen.grid_2d(4, 4, diagonals=True)
+        assert count_triangles(g) > 0
+
+    def test_road_network_weighted(self):
+        g = gen.road_network(8, 8, seed=1)
+        assert g.is_weighted
+        assert np.all(g.edge_weights >= 1.0) and np.all(g.edge_weights <= 10.0)
+
+    def test_complete_graph(self):
+        g = gen.complete_graph(7)
+        assert g.num_edges == 21
+        assert np.all(g.degrees == 6)
+
+    def test_star(self):
+        g = gen.star_graph(10)
+        assert g.degree(0) == 9
+        assert np.all(g.degrees[1:] == 1)
+
+    def test_path_cycle(self):
+        assert gen.path_graph(5).num_edges == 4
+        assert gen.cycle_graph(5).num_edges == 5
+        with pytest.raises(ValueError):
+            gen.cycle_graph(2)
+
+    def test_balanced_tree(self):
+        g = gen.balanced_tree(2, 3)
+        assert g.n == 15
+        assert g.num_edges == 14
+
+    def test_triangle_strip(self):
+        from repro.algorithms.triangles import count_triangles
+
+        g = gen.triangle_strip(6)
+        assert g.n == 8
+        assert count_triangles(g) == 6
+
+    def test_watts_strogatz(self):
+        g = gen.watts_strogatz(50, 4, 0.1, seed=2)
+        assert g.n == 50
+        assert g.num_edges <= 100
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(10, 3, 0.1)
+
+    def test_disjoint_union(self):
+        a = gen.path_graph(3)
+        b = gen.cycle_graph(4)
+        u = gen.disjoint_union(a, b)
+        assert u.n == 7
+        assert u.num_edges == 2 + 4
+        from repro.algorithms.components import connected_components
+
+        assert connected_components(u).num_components == 2
+
+    def test_disjoint_union_weights(self):
+        a = gen.path_graph(3).with_weights(np.array([2.0, 3.0]))
+        b = gen.path_graph(2)
+        u = gen.disjoint_union(a, b)
+        assert u.is_weighted
+        assert u.total_weight() == 2.0 + 3.0 + 1.0

@@ -1,0 +1,209 @@
+"""Tests for datasets, views, edge-list I/O, weights, properties, builder."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import datasets
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import (
+    read_npz,
+    read_text,
+    storage_bytes,
+    write_npz,
+    write_text,
+)
+from repro.graphs.properties import degree_statistics, density, summarize
+from repro.graphs.views import cluster_subgraphs, edge_subgraph, induced_subgraph
+from repro.graphs.weights import (
+    with_exponential_weights,
+    with_uniform_weights,
+    with_unit_weights,
+)
+from repro.graphs import generators as gen
+
+
+class TestDatasets:
+    def test_registry_nonempty(self):
+        names = datasets.available()
+        assert len(names) >= 30
+        assert "s-cds" in names and "v-usa" in names and "h-wdc" in names
+
+    def test_load_basic(self):
+        g = datasets.load("s-you", seed=0)
+        assert g.num_edges > 0
+        g.validate()
+
+    def test_fig5_trio_triangle_regimes(self):
+        """The Fig. 5 graphs are selected by T/n: s-cds >> v-ewk > s-pok."""
+        from repro.algorithms.triangles import count_triangles
+
+        ratios = {}
+        for name in ("s-cds", "s-pok", "v-ewk"):
+            g = datasets.load(name, seed=0)
+            ratios[name] = count_triangles(g) / g.n
+        assert ratios["s-cds"] > ratios["v-ewk"] > ratios["s-pok"]
+
+    def test_road_network_weighted_and_triangle_free(self):
+        from repro.algorithms.triangles import count_triangles
+
+        g = datasets.load("v-usa", seed=0)
+        assert g.is_weighted
+        assert count_triangles(g) == 0
+
+    def test_web_crawls_directed(self):
+        g = datasets.load("h-dgh", seed=0)
+        assert g.directed
+
+    def test_weighted_flag(self):
+        g = datasets.load("s-you", seed=0, weighted=True)
+        assert g.is_weighted
+
+    def test_describe_and_paper_stats(self):
+        spec = datasets.describe("s-cds")
+        assert spec.paper_m == 15_000_000
+        assert datasets.PAPER_STATS["s-pok"] == (1_600_000, 30_000_000)
+        with pytest.raises(KeyError):
+            datasets.describe("nope")
+
+    def test_deterministic(self):
+        a = datasets.load("s-pok", seed=1)
+        b = datasets.load("s-pok", seed=1)
+        assert np.array_equal(a.edge_src, b.edge_src)
+
+
+class TestViews:
+    def test_induced_subgraph_relabel(self, tiny):
+        sub, ids = induced_subgraph(tiny, [0, 1, 2])
+        assert sub.n == 3
+        assert sub.num_edges == 3  # the triangle
+        assert ids.tolist() == [0, 1, 2]
+
+    def test_induced_subgraph_keep_ids(self, tiny):
+        sub, ids = induced_subgraph(tiny, [0, 1, 2], relabel=False)
+        assert sub.n == tiny.n
+        assert sub.num_edges == 3
+
+    def test_edge_subgraph(self, tiny):
+        sub = edge_subgraph(tiny, [0, 1])
+        assert sub.num_edges == 2
+        assert sub.n == tiny.n
+
+    def test_cluster_subgraphs_partition(self, er300):
+        mapping = np.arange(er300.n) % 5
+        seen = []
+        for cid, members in cluster_subgraphs(er300, mapping):
+            seen.extend(members.tolist())
+            assert np.all(mapping[members] == cid)
+        assert sorted(seen) == list(range(er300.n))
+
+    def test_cluster_subgraphs_validation(self, er300):
+        with pytest.raises(ValueError):
+            list(cluster_subgraphs(er300, np.zeros(3, dtype=np.int64)))
+
+
+class TestEdgeList:
+    def test_text_roundtrip(self, tiny, tmp_path):
+        path = tmp_path / "g.txt"
+        write_text(tiny, path)
+        back = read_text(path)
+        assert back.n == tiny.n
+        assert np.array_equal(back.edge_src, tiny.edge_src)
+
+    def test_text_roundtrip_weighted(self, tiny, tmp_path):
+        wg = tiny.with_weights(np.linspace(0.5, 2.5, 5))
+        path = tmp_path / "w.txt"
+        write_text(wg, path)
+        back = read_text(path)
+        assert back.is_weighted
+        assert np.allclose(back.edge_weights, wg.edge_weights)
+
+    def test_text_infers_n_without_header(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("0 3\n1 2\n")
+        g = read_text(path)
+        assert g.n == 4
+        assert g.num_edges == 2
+
+    def test_npz_roundtrip(self, tmp_path):
+        g = gen.rmat(8, 4, seed=1, directed=True)
+        path = tmp_path / "g.npz"
+        write_npz(g, path)
+        back = read_npz(path)
+        assert back.directed
+        assert np.array_equal(back.edge_src, g.edge_src)
+
+    def test_storage_bytes_scales_with_edges(self, er300):
+        half = er300.keep_edges(np.arange(er300.num_edges) < er300.num_edges // 2)
+        assert storage_bytes(half) < storage_bytes(er300)
+
+
+class TestWeights:
+    def test_uniform_range(self, er300):
+        wg = with_uniform_weights(er300, 2.0, 3.0, seed=0)
+        assert np.all((wg.edge_weights >= 2.0) & (wg.edge_weights < 3.0))
+        with pytest.raises(ValueError):
+            with_uniform_weights(er300, 3.0, 2.0)
+
+    def test_exponential_positive(self, er300):
+        wg = with_exponential_weights(er300, 2.0, seed=0)
+        assert np.all(wg.edge_weights > 0)
+        with pytest.raises(ValueError):
+            with_exponential_weights(er300, -1.0)
+
+    def test_unit(self, er300):
+        wg = with_unit_weights(er300)
+        assert wg.total_weight() == er300.num_edges
+
+
+class TestProperties:
+    def test_summarize_fields(self, plc300):
+        from repro.algorithms.triangles import count_triangles
+
+        s = summarize(plc300)
+        assert s.num_vertices == plc300.n
+        assert s.num_triangles == count_triangles(plc300)
+        assert s.triangles_per_vertex == pytest.approx(s.num_triangles / s.num_vertices)
+        assert "T/n" in s.as_dict()
+
+    def test_density(self):
+        assert density(gen.complete_graph(5)) == pytest.approx(1.0)
+        assert density(CSRGraph.empty(1)) == 0.0
+
+    def test_degree_statistics(self, star20):
+        stats = degree_statistics(star20)
+        assert stats["max"] == 19
+        assert stats["median"] == 1.0
+
+
+class TestBuilder:
+    def test_incremental_build(self):
+        b = GraphBuilder(5)
+        b.add_edge(0, 1)
+        b.add_edge(1, 2)
+        b.add_edges([2, 3], [3, 4])
+        g = b.build()
+        assert len(b) == 4
+        assert g.num_edges == 4
+
+    def test_weighted_builder(self):
+        b = GraphBuilder(3, weighted=True)
+        b.add_edge(0, 1, weight=2.0)
+        b.add_edges([1], [2], weights=[3.0])
+        g = b.build()
+        assert g.total_weight() == 5.0
+
+    def test_growth_beyond_initial_capacity(self):
+        b = GraphBuilder(100)
+        src = np.repeat(np.arange(99), 1)
+        b.add_edges(src, src + 1)
+        for i in range(50):
+            b.add_edge(0, i + 2)
+        g = b.build()
+        assert g.num_edges > 99
+
+    def test_dedup_on_build(self):
+        b = GraphBuilder(3, weighted=True)
+        b.add_edge(0, 1, 1.0)
+        b.add_edge(1, 0, 2.0)
+        assert b.build(dedup="sum").total_weight() == 3.0

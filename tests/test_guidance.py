@@ -1,0 +1,81 @@
+"""Tests for the §7.5 scheme-selection guidance API."""
+
+import pytest
+
+from repro.analytics.guidance import PRESERVABLE_PROPERTIES, recommend
+from repro.compress.registry import make_scheme
+from repro.graphs import generators as gen
+from repro.graphs.weights import with_uniform_weights
+
+
+class TestRecommend:
+    def test_all_properties_have_rankings(self):
+        for prop in PRESERVABLE_PROPERTIES:
+            recs = recommend(prop)
+            assert recs, prop
+            assert all(r.rationale for r in recs)
+
+    def test_specs_are_constructible(self):
+        """Every recommended spec must parse through the registry."""
+        for prop in PRESERVABLE_PROPERTIES:
+            for rec in recommend(prop):
+                scheme = make_scheme(rec.scheme_spec)
+                assert scheme is not None
+
+    def test_unknown_property(self):
+        with pytest.raises(ValueError, match="unknown property"):
+            recommend("chromatic_polynomial")
+
+    def test_mst_ranking_prefers_max_weight_tr(self):
+        recs = recommend("mst_weight")
+        assert "max_weight" in recs[0].scheme_spec
+
+    def test_triangle_free_graph_marks_tr_infeasible(self):
+        road = gen.grid_2d(8, 8)
+        recs = recommend("mst_weight", road)
+        tr = recs[0]
+        assert not tr.feasible
+        assert "triangle-free" in tr.caveat
+
+    def test_directed_graph_feasibility(self):
+        g = gen.rmat(8, 4, seed=0, directed=True)
+        recs = recommend("pagerank", g)
+        by_spec = {r.scheme_spec.split("(")[0]: r for r in recs}
+        assert by_spec["uniform"].feasible  # uniform supports directed
+        # TR needs undirected graphs.
+        tr = [r for r in recs if "TR" in r.scheme_spec][0]
+        assert not tr.feasible
+
+    def test_weighted_graph_caveat_for_spanner(self):
+        g = with_uniform_weights(gen.erdos_renyi(50, m=120, seed=1), seed=0)
+        recs = recommend("storage", g)
+        spanner = [r for r in recs if r.scheme_spec.startswith("spanner")][0]
+        assert spanner.feasible
+        assert "weights" in spanner.caveat
+
+    def test_parameters_flow_into_specs(self):
+        recs = recommend("shortest_paths", p=0.3, k=42)
+        assert any("k=42" in r.scheme_spec for r in recs)
+        assert any("0.3" in r.scheme_spec for r in recs)
+
+    def test_recommended_scheme_actually_preserves_cc(self):
+        """End-to-end: the top CC recommendation preserves #CC."""
+        from repro.algorithms.components import connected_components
+
+        g = gen.powerlaw_cluster(300, 5, 0.6, seed=2)
+        rec = recommend("connected_components", g)[0]
+        assert rec.feasible
+        sub = make_scheme(rec.scheme_spec).compress(g, seed=0).graph
+        assert (
+            connected_components(sub).num_components
+            == connected_components(g).num_components
+        )
+
+    def test_recommended_scheme_preserves_mst_weight(self):
+        from repro.algorithms.mst import kruskal
+
+        g = with_uniform_weights(gen.powerlaw_cluster(300, 5, 0.6, seed=3), seed=1)
+        rec = recommend("mst_weight", g)[0]
+        assert rec.feasible
+        sub = make_scheme(rec.scheme_spec).compress(g, seed=0).graph
+        assert kruskal(sub).total_weight == pytest.approx(kruskal(g).total_weight)

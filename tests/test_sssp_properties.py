@@ -1,0 +1,62 @@
+"""Property-based equivalence of the two SSSP engines.
+
+Δ-stepping's correctness must not depend on the bucket width; for random
+weighted graphs and random Δ it must match Dijkstra exactly — the
+invariant the §7.1 Δ-tuning experiments rely on (Δ changes speed, never
+answers).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.sssp import delta_stepping, dijkstra
+from repro.graphs.csr import CSRGraph
+
+
+@st.composite
+def weighted_graphs(draw, max_n=25, max_m=80):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    g = CSRGraph.from_edges(n, src, dst)
+    if g.num_edges == 0:
+        return g
+    seed = draw(st.integers(0, 2**31 - 1))
+    w = np.random.default_rng(seed).uniform(0.1, 10.0, size=g.num_edges)
+    return g.with_weights(w)
+
+
+@given(weighted_graphs(), st.floats(0.1, 50.0), st.integers(0, 24))
+@settings(max_examples=80, deadline=None)
+def test_delta_stepping_equals_dijkstra(g, delta, source_pick):
+    source = source_pick % g.n
+    a = dijkstra(g, source)
+    b = delta_stepping(g, source, delta=delta)
+    assert np.allclose(
+        np.nan_to_num(a.distance, posinf=-1.0),
+        np.nan_to_num(b.distance, posinf=-1.0),
+    )
+    # Parents may differ (ties) but must realize the same distances.
+    for v in range(g.n):
+        if v == source or not np.isfinite(b.distance[v]):
+            continue
+        p = int(b.parent[v])
+        w = g.weight_of(g.edge_id(p, v))
+        assert b.distance[v] == pytest.approx(b.distance[p] + w)
+
+
+import pytest  # noqa: E402  (used inside the property above)
+
+
+@given(weighted_graphs(), st.integers(0, 24))
+@settings(max_examples=40, deadline=None)
+def test_unweighted_distances_match_bfs_levels(g, source_pick):
+    source = source_pick % g.n
+    unweighted = g.with_weights(None)
+    levels = bfs(unweighted, source).level
+    dist = delta_stepping(unweighted, source).distance
+    finite = np.isfinite(dist)
+    assert np.array_equal(np.flatnonzero(levels >= 0), np.flatnonzero(finite))
+    assert np.allclose(dist[finite], levels[levels >= 0])

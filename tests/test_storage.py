@@ -1,0 +1,47 @@
+"""Tests for storage-reduction accounting."""
+
+import pytest
+
+from repro.analytics.storage import storage_report
+from repro.compress.spectral import SpectralSparsifier
+from repro.compress.summarization import LossySummarization
+from repro.compress.uniform import RandomUniformSampling
+from repro.graphs import generators as gen
+
+
+class TestStorageReport:
+    def test_identity_scheme_zero_reduction(self, er300):
+        res = RandomUniformSampling(1.0).compress(er300, seed=0)
+        report = storage_report(res)
+        assert report.reduction == pytest.approx(0.0)
+        assert report.ratio == pytest.approx(1.0)
+
+    def test_uniform_reduction_tracks_edges(self, er300):
+        res = RandomUniformSampling(0.5).compress(er300, seed=1)
+        report = storage_report(res)
+        # Bytes scale with edges (indptr is shared overhead).
+        assert 0.3 < report.reduction < 0.6
+
+    def test_spectral_weights_count_as_overhead(self, plc300):
+        """Reweighted sparsifiers pay 8 bytes/edge: at equal edge counts
+        their stored bytes exceed the unweighted scheme's."""
+        spec = SpectralSparsifier(0.5).compress(plc300, seed=2)
+        m_kept = spec.graph.num_edges / plc300.num_edges
+        uni = RandomUniformSampling(m_kept).compress(plc300, seed=2)
+        r_spec = storage_report(spec)
+        r_uni = storage_report(uni)
+        if abs(spec.graph.num_edges - uni.graph.num_edges) < 0.02 * plc300.num_edges:
+            assert r_spec.compressed_bytes > r_uni.compressed_bytes
+
+    def test_summary_charged_its_encoding(self, plc300):
+        res = LossySummarization(0.3).compress(plc300, seed=3)
+        report = storage_report(res)
+        summary = res.extras["summary"]
+        expected = summary.mapping.nbytes + 16 * summary.storage_edges()
+        assert report.compressed_bytes == expected
+
+    def test_empty_graph(self):
+        g = gen.erdos_renyi(5, m=0, seed=0)
+        res = RandomUniformSampling(0.5).compress(g, seed=0)
+        report = storage_report(res)
+        assert report.reduction == pytest.approx(0.0, abs=1.0)

@@ -1,0 +1,332 @@
+"""Empirical verification of the Table 3 bounds (§6).
+
+Each test compresses real (synthetic) graphs and checks the corresponding
+:mod:`repro.theory.bounds` predicate — the library-level realization of
+"empirical analyses follow our theoretical predictions" (§7.5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.coloring import coloring_number
+from repro.algorithms.components import connected_components
+from repro.algorithms.independent_set import greedy_mis
+from repro.algorithms.matching import maximum_matching_size
+from repro.algorithms.mst import kruskal
+from repro.algorithms.paths import pairwise_distance
+from repro.algorithms.spectrum import quadratic_form_ratio_bounds
+from repro.algorithms.triangles import count_triangles
+from repro.compress.spanner import Spanner
+from repro.compress.spectral import SpectralSparsifier
+from repro.compress.summarization import LossySummarization
+from repro.compress.triangle_reduction import TriangleReduction
+from repro.compress.uniform import RandomUniformSampling
+from repro.compress.vertex_filters import LowDegreeVertexRemoval
+from repro.graphs import generators as gen
+from repro.graphs.weights import with_uniform_weights
+from repro.theory import bounds
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.powerlaw_cluster(400, 6, 0.6, seed=17)
+
+
+class TestSubgraphMonotonicity:
+    """Footnote invariants: subgraph-producing schemes never increase m, T,
+    degrees, matchings; never decrease components or distances."""
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            RandomUniformSampling(0.5),
+            SpectralSparsifier(0.5),
+            TriangleReduction(0.7),
+            Spanner(4),
+        ],
+        ids=["uniform", "spectral", "tr", "spanner"],
+    )
+    def test_all_monotone(self, graph, scheme):
+        sub = scheme.compress(graph, seed=3).graph
+        assert bounds.subgraph_monotone_edges(graph.num_edges, sub.num_edges)
+        assert bounds.subgraph_monotone_triangles(
+            count_triangles(graph), count_triangles(sub)
+        )
+        assert bounds.subgraph_monotone_max_degree(
+            int(graph.degrees.max()), int(sub.degrees.max())
+        )
+        assert bounds.subgraph_monotone_components(
+            connected_components(graph).num_components,
+            connected_components(sub).num_components,
+        )
+        assert bounds.subgraph_monotone_matching(
+            maximum_matching_size(graph), maximum_matching_size(sub)
+        )
+        d0 = pairwise_distance(graph, 0, graph.n - 1)
+        d1 = pairwise_distance(sub, 0, graph.n - 1)
+        assert bounds.subgraph_monotone_path(d0, d1)
+
+
+class TestUniformRow:
+    """Table 3 states its p as the REMOVAL probability; the scheme's
+    constructor takes the KEEP probability (§4.2.2's kernel), so every
+    bound below receives ``1 - keep``."""
+
+    def test_edge_expectation(self, graph):
+        keep = 0.4
+        sub = RandomUniformSampling(keep).compress(graph, seed=1).graph
+        assert bounds.uniform_edges(graph.num_edges, sub.num_edges, 1 - keep)
+
+    def test_triangle_expectation(self, graph):
+        keep = 0.7
+        t0 = count_triangles(graph)
+        counts = [
+            count_triangles(RandomUniformSampling(keep).compress(graph, seed=s).graph)
+            for s in range(5)
+        ]
+        assert bounds.uniform_triangles(t0, float(np.mean(counts)), 1 - keep, slack=2.0)
+
+    def test_components_bound(self, graph):
+        keep = 0.7
+        sub = RandomUniformSampling(keep).compress(graph, seed=2).graph
+        assert bounds.uniform_components(
+            connected_components(graph).num_components,
+            connected_components(sub).num_components,
+            graph.num_edges,
+            sub.num_edges,
+        )
+
+    def test_matching_bound(self, graph):
+        keep = 0.5
+        mc0 = maximum_matching_size(graph)
+        sizes = [
+            maximum_matching_size(RandomUniformSampling(keep).compress(graph, seed=s).graph)
+            for s in range(3)
+        ]
+        assert bounds.uniform_matching(mc0, float(np.mean(sizes)), 1 - keep, slack=1.1)
+
+    def test_coloring_bound(self, graph):
+        keep = 0.5
+        cg0 = coloring_number(graph)
+        cg1 = coloring_number(RandomUniformSampling(keep).compress(graph, seed=4).graph)
+        assert bounds.uniform_coloring(cg0, cg1, 1 - keep, slack=1.0)
+
+    def test_max_degree(self, graph):
+        keep = 0.5
+        sub = RandomUniformSampling(keep).compress(graph, seed=5).graph
+        assert bounds.uniform_max_degree(
+            int(graph.degrees.max()), int(sub.degrees.max()), 1 - keep
+        )
+
+    def test_independent_set(self, graph):
+        keep = 0.5
+        sub = RandomUniformSampling(keep).compress(graph, seed=6).graph
+        assert bounds.uniform_independent_set(
+            len(greedy_mis(graph)), len(greedy_mis(sub)), graph.num_edges, sub.num_edges
+        )
+
+
+class TestSpectralRow:
+    def test_components_preserved(self, graph):
+        sub = SpectralSparsifier(0.8).compress(graph, seed=0).graph
+        assert bounds.spectral_components(
+            connected_components(graph).num_components,
+            connected_components(sub).num_components,
+        )
+
+    def test_max_degree(self, graph):
+        sub = SpectralSparsifier(0.5).compress(graph, seed=1).graph
+        assert bounds.spectral_max_degree(int(graph.degrees.max()), int(sub.degrees.max()), 1.0)
+
+    def test_quadratic_form(self, graph):
+        sub = SpectralSparsifier(0.9).compress(graph, seed=2).graph
+        lo, hi = quadratic_form_ratio_bounds(graph, sub, num_probes=32, seed=0)
+        assert bounds.spectral_quadratic_form(lo, hi, epsilon=0.75)
+
+
+class TestSpannerRow:
+    def test_edge_budget(self, graph):
+        for k in (2, 4, 8):
+            sub = Spanner(k).compress(graph, seed=1).graph
+            assert bounds.spanner_edges(graph.n, sub.num_edges, k)
+
+    def test_components_exact(self, graph):
+        sub = Spanner(8).compress(graph, seed=2).graph
+        assert bounds.spanner_components(
+            connected_components(graph).num_components,
+            connected_components(sub).num_components,
+        )
+
+    def test_stretch(self, graph):
+        k = 4
+        sub = Spanner(k).compress(graph, seed=3).graph
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            u, v = rng.integers(0, graph.n, size=2)
+            d0 = pairwise_distance(graph, int(u), int(v))
+            d1 = pairwise_distance(sub, int(u), int(v))
+            assert bounds.spanner_distance_stretch(d0, d1, k)
+
+    def test_triangles(self, graph):
+        for k in (2, 8):
+            sub = Spanner(k).compress(graph, seed=4).graph
+            assert bounds.spanner_triangles(graph.n, count_triangles(sub), k)
+
+    def test_coloring(self, graph):
+        from repro.algorithms.coloring import greedy_coloring
+
+        k = 4
+        sub = Spanner(k).compress(graph, seed=5).graph
+        colors = greedy_coloring(sub, "degeneracy").num_colors
+        assert bounds.spanner_coloring(graph.n, colors, k)
+
+
+class TestEOTRRow:
+    def test_per_vertex_degree_edge_disjoint(self):
+        """Table 3's degree cell assumes edge-disjoint triangles (§6.1:
+        "a vertex of degree d' is contained in at most d'/2 edge-disjoint
+        triangles").  The friendship graph — a hub whose k triangles share
+        only the hub — is the exact worst case: the hub loses <= d/2."""
+        import numpy as np
+        from repro.graphs.csr import CSRGraph
+
+        k = 12  # triangles at the hub
+        src, dst = [], []
+        for i in range(k):
+            a, b = 2 * i + 1, 2 * i + 2
+            src += [0, 0, a]
+            dst += [a, b, b]
+        g = CSRGraph.from_edges(2 * k + 1, src, dst)
+        for seed in range(5):
+            sub = TriangleReduction(1.0, variant="edge_once").compress(g, seed=seed).graph
+            assert bounds.eo_tr_vertex_degree(g.degrees, sub.degrees)
+            assert bounds.eo_tr_max_degree(int(g.degrees.max()), int(sub.degrees.max()))
+
+    def test_matching(self, graph):
+        mc0 = maximum_matching_size(graph)
+        sizes = [
+            maximum_matching_size(
+                TriangleReduction(1.0, variant="edge_once").compress(graph, seed=s).graph
+            )
+            for s in range(3)
+        ]
+        assert bounds.eo_tr_matching(mc0, float(np.mean(sizes)), slack=1.05)
+
+    def test_coloring(self, graph):
+        cg0 = coloring_number(graph)
+        cg1 = coloring_number(
+            TriangleReduction(1.0, variant="edge_once").compress(graph, seed=2).graph
+        )
+        assert bounds.eo_tr_coloring(cg0, cg1)
+
+    def test_components(self, graph):
+        sub = TriangleReduction(0.8, variant="edge_once").compress(graph, seed=3).graph
+        assert bounds.eo_tr_components(
+            connected_components(graph).num_components,
+            connected_components(sub).num_components,
+        )
+
+    def test_shortest_path(self, graph):
+        p = 0.8
+        sub = TriangleReduction(p, variant="edge_once").compress(graph, seed=4).graph
+        d0 = pairwise_distance(graph, 0, graph.n - 1)
+        d1 = pairwise_distance(sub, 0, graph.n - 1)
+        assert bounds.eo_tr_shortest_path(d0, d1, p, graph.n)
+
+    def test_independent_set(self, graph):
+        p = 0.8
+        sub = TriangleReduction(p, variant="edge_once").compress(graph, seed=5).graph
+        assert bounds.eo_tr_independent_set(
+            len(greedy_mis(graph)), len(greedy_mis(sub)), p, count_triangles(graph)
+        )
+
+    def test_mst_weight_max_weight_variant(self, graph):
+        wg = with_uniform_weights(graph, seed=9)
+        sub = TriangleReduction(1.0, variant="max_weight").compress(wg, seed=6).graph
+        assert bounds.tr_mst_weight(
+            kruskal(wg).total_weight, kruskal(sub).total_weight
+        )
+
+
+class TestLowDegreeRow:
+    def test_counts(self):
+        # A clique with pendant leaves: removal drops exactly the leaves.
+        core = gen.complete_graph(8)
+        import numpy as np
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.from_edges(
+            12,
+            np.concatenate([core.edge_src, [0, 1, 2, 3]]),
+            np.concatenate([core.edge_dst, [8, 9, 10, 11]]),
+        )
+        res = LowDegreeVertexRemoval(relabel=True).compress(g)
+        assert bounds.low_degree_counts(g.n, g.num_edges, res.graph.n, res.graph.num_edges, 4)
+
+    def test_triangles_preserved(self, graph):
+        res = LowDegreeVertexRemoval().compress(graph)
+        assert bounds.low_degree_triangles(
+            count_triangles(graph), count_triangles(res.graph)
+        )
+
+    def test_matching_and_coloring(self, graph):
+        res = LowDegreeVertexRemoval().compress(graph)
+        k = res.extras["vertices_removed"]
+        assert bounds.low_degree_matching(
+            maximum_matching_size(graph), maximum_matching_size(res.graph), k
+        )
+        assert bounds.low_degree_coloring(
+            coloring_number(graph), coloring_number(res.graph)
+        )
+
+
+class TestSummaryRow:
+    def test_edges_within_2_eps_m(self, graph):
+        eps = 0.3
+        res = LossySummarization(eps).compress(graph, seed=1)
+        assert bounds.summary_edges(graph.num_edges, res.graph.num_edges, eps)
+
+    def test_neighborhood_error(self, graph):
+        eps = 0.5
+        res = LossySummarization(eps).compress(graph, seed=2)
+        assert bounds.summary_neighborhoods(graph, res.graph, eps)
+
+
+class TestPathLengthRows:
+    """Diameter / average-path cells of Table 3."""
+
+    def test_spanner_diameter_and_avg_path(self, graph):
+        from repro.algorithms.paths import path_length_stats
+
+        base = path_length_stats(graph, num_sources=24, seed=0)
+        for k in (2, 8):
+            sub = Spanner(k).compress(graph, seed=1).graph
+            comp = path_length_stats(sub, num_sources=24, seed=0)
+            assert bounds.spanner_diameter(
+                base.eccentricity_max, comp.eccentricity_max, k
+            )
+            assert bounds.spanner_avg_path(
+                base.average_length, comp.average_length, k
+            )
+
+    def test_eo_tr_diameter(self, graph):
+        from repro.algorithms.paths import path_length_stats
+
+        p = 0.9
+        base = path_length_stats(graph, num_sources=24, seed=1)
+        sub = TriangleReduction(p, variant="edge_once").compress(graph, seed=2).graph
+        comp = path_length_stats(sub, num_sources=24, seed=1)
+        assert bounds.eo_tr_diameter(
+            base.eccentricity_max, comp.eccentricity_max, p, graph.n
+        )
+
+    def test_low_degree_diameter(self):
+        from repro.algorithms.paths import exact_diameter
+
+        # A path with pendant leaves at both ends: removal shortens D by 2.
+        g = gen.path_graph(12)
+        d0 = exact_diameter(g)
+        res = LowDegreeVertexRemoval(relabel=True).compress(g)
+        d1 = exact_diameter(res.graph)
+        assert bounds.low_degree_diameter(d0, d1)
+        assert d1 == d0 - 2

@@ -1,0 +1,127 @@
+"""Tests for utility modules: RNG plumbing, chunking, timer, validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.chunking import balanced_chunks, chunk_ranges
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRNG:
+    def test_as_generator_from_int(self):
+        a = as_generator(5)
+        b = as_generator(5)
+        assert a.random() == b.random()
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_generators(7, 4)
+        values = [s.random() for s in streams]
+        assert len(set(values)) == 4
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_generators(3, 3)]
+        b = [g.random() for g in spawn_generators(3, 3)]
+        assert a == b
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestChunking:
+    def test_chunk_ranges_cover(self):
+        ranges = chunk_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_chunk_ranges_more_chunks_than_items(self):
+        ranges = chunk_ranges(2, 5)
+        assert ranges == [(0, 1), (1, 2)]
+
+    def test_chunk_ranges_empty(self):
+        assert chunk_ranges(0, 3) == []
+
+    def test_chunk_ranges_validation(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+    def test_balanced_chunks_equalize_weight(self):
+        w = np.array([100, 1, 1, 1, 1, 1, 1, 100])
+        ranges = balanced_chunks(w, 2)
+        loads = [w[lo:hi].sum() for lo, hi in ranges]
+        assert abs(loads[0] - loads[1]) <= 100
+
+    def test_balanced_chunks_cover(self):
+        w = np.ones(17)
+        ranges = balanced_chunks(w, 4)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 17
+        assert sum(hi - lo for lo, hi in ranges) == 17
+
+    def test_balanced_zero_weights(self):
+        ranges = balanced_chunks(np.zeros(6), 2)
+        assert sum(hi - lo for lo, hi in ranges) == 6
+
+
+class TestTimer:
+    def test_measure_and_mean(self):
+        t = Timer()
+        with t.measure("work"):
+            pass
+        assert t.mean("work") >= 0.0
+        assert t.total("work") >= 0.0
+        assert t.labels() == ["work"]
+
+    def test_warmup_fraction(self):
+        t = Timer()
+        for v in [100.0] + [1.0] * 99:
+            t.add_sample("x", v)
+        assert t.mean("x", warmup_fraction=0.01) == pytest.approx(1.0)
+        assert t.mean("x") == pytest.approx(1.99)
+
+    def test_missing_label(self):
+        with pytest.raises(KeyError):
+            Timer().mean("nope")
+
+    def test_confidence_interval(self):
+        t = Timer()
+        for v in range(100):
+            t.add_sample("x", float(v))
+        lo, hi = t.confidence_interval("x")
+        assert lo <= 49.5 <= hi
+        t2 = Timer()
+        t2.add_sample("y", 1.0)
+        assert t2.confidence_interval("y") == (1.0, 1.0)
+
+
+class TestValidation:
+    def test_probability(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+        with pytest.raises(ValueError):
+            check_probability(1.1)
+
+    def test_positive_nonnegative(self):
+        assert check_positive(1) == 1
+        assert check_nonnegative(0) == 0
+        with pytest.raises(ValueError):
+            check_positive(0)
+        with pytest.raises(ValueError):
+            check_nonnegative(-1)
+
+    def test_in_range(self):
+        assert check_in_range(5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range(11, 0, 10)
