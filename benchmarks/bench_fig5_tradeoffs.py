@@ -19,9 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import emit
-from repro.analytics.evaluation import AlgorithmSpec, evaluate_scheme
+from repro.analytics.evaluation import AlgorithmSpec
 from repro.analytics.report import format_table
-from repro.compress.registry import make_scheme
+from repro.analytics.session import Session
 
 GRAPHS = ["s-cds", "s-pok", "v-ewk"]
 
@@ -55,12 +55,13 @@ def run_fig5(graph_cache, results_dir):
     reductions: dict[tuple, float] = {}
     for gname in GRAPHS:
         g = graph_cache.load(gname)
+        # One session per graph: the original-graph runs of BFS/CC/PR/TC
+        # are computed once and reused across all 16 scheme configs.
+        session = Session(g, seed=1)
+        algorithms = _algorithms()
         for panel, entries in PANELS.items():
             for pname, value, spec in entries:
-                scheme = make_scheme(spec)
-                records, compressed = evaluate_scheme(
-                    g, scheme, _algorithms(), seed=1
-                )
+                records, compressed = session.evaluate(spec, algorithms, seed=1)
                 ratio = compressed.num_edges / g.num_edges
                 reductions[(gname, panel, value)] = 1.0 - ratio
                 for rec in records:

@@ -12,8 +12,8 @@ delivers on its promise.
 Run:  python examples/scheme_selection.py
 """
 
-from repro import datasets, make_scheme
-from repro.analytics import recommend, sweep
+from repro import Session, datasets, make_scheme
+from repro.analytics import recommend
 from repro.analytics.evaluation import AlgorithmSpec
 
 
@@ -62,14 +62,13 @@ def main() -> None:
     pick_and_verify(road, "v-usa (weighted road network)", "mst_weight", mst_error)
     pick_and_verify(social, "s-cds (triangle-dense social)", "connected_components", cc_exact)
 
-    # Step 3: tune the parameter with a sweep (Fig. 5 methodology).
+    # Step 3: tune the parameter with a sweep (Fig. 5 methodology).  A
+    # session sweep takes spec strings directly and reuses the baseline
+    # algorithm runs across all three parameter values.
     print("--- step 3: parameter sweep for spanner storage on s-cds ---")
-    rows = sweep(
-        social,
-        lambda k: make_scheme(f"spanner(k={int(k)})"),
-        [2, 8, 32],
+    rows = Session(social, seed=0).sweep(
+        [f"spanner(k={k})" for k in (2, 8, 32)],
         algorithms=[AlgorithmSpec("m", lambda g: g.num_edges, "scalar")],
-        seed=0,
     )
     for row in rows:
         print(

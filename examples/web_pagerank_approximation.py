@@ -11,16 +11,18 @@ alternatives the paper surveyed).
 Run:  python examples/web_pagerank_approximation.py
 """
 
-from repro import datasets, make_scheme, pagerank
+from repro import Session, datasets, pagerank
 from repro.analytics.report import format_table
 from repro.metrics.divergences import all_divergences
-from repro.metrics.ordering import reordered_neighbor_pairs
 
 
 def main() -> None:
     web = datasets.load("h-wen", seed=0)
     print(f"web crawl stand-in: {web}\n")
-    pr0 = pagerank(web).ranks
+
+    # One session: the original PageRank run happens once, the five
+    # schemes each get scored against the cached baseline.
+    session = Session(web, seed=1)
 
     rows = []
     for spec in [
@@ -30,18 +32,18 @@ def main() -> None:
         "uniform(p=0.1)",
         "spanner(k=8)",
     ]:
-        result = make_scheme(spec).compress(web, seed=1)
-        pr1 = pagerank(result.graph).ranks
-        div = all_divergences(pr0, pr1)
-        flipped = reordered_neighbor_pairs(web, pr0, pr1)
+        run = session.compress(spec).run(pagerank)
+        scores = run.score(["kl", "reordered_pairs"])
+        out0, out1 = run.outputs("pagerank")
+        div = all_divergences(out0.ranks, out1.ranks)
         rows.append(
             [
                 spec,
-                result.compression_ratio,
-                div["kl"],
+                run.compression_ratio,
+                scores["kl_divergence"],
                 div["js"],
                 div["total_variation"],
-                flipped,
+                scores["reordered_neighbor_pairs"],
             ]
         )
 

@@ -18,25 +18,40 @@ Substrates: :mod:`repro.graphs` (CSR core + generators + datasets),
 
 Quickstart
 ----------
->>> from repro import datasets, make_scheme, pagerank, kl_divergence
+>>> from repro import Session, datasets, pagerank
 >>> g = datasets.load("s-pok", seed=0)
->>> result = make_scheme("spanner(k=8)").compress(g, seed=1)
->>> kl = kl_divergence(pagerank(g).ranks, pagerank(result.graph).ranks)
+>>> session = Session(g, seed=1)
+>>> scores = session.compress("spanner(k=8)").run(pagerank).score(["kl"])
+>>> scores["kl_divergence"]  # doctest: +SKIP
+0.0123
+
+Schemes are named by declarative specs — ``"uniform(p=0.5)"``, the
+paper's TR labels (``"EO-0.8-1-TR"``), or ``|`` pipelines
+(``"low_degree(max_degree=1) | spanner(k=4)"``) — parsed by
+:class:`~repro.compress.spec.SchemeSpec` and built through the open
+registry (:func:`~repro.compress.registry.register_scheme`); the session
+caches each algorithm's original-graph run across every scheme it scores.
 """
 
 from repro.graphs import CSRGraph, GraphBuilder, generators, datasets
 from repro.compress import (
+    Chain,
     CompressionResult,
     CompressionScheme,
     RandomUniformSampling,
+    SchemeSpec,
     SpectralSparsifier,
+    StageRecord,
     TriangleReduction,
     Spanner,
     LossySummarization,
     LowDegreeVertexRemoval,
     CutSparsifier,
     ClusteredLowRankApproximation,
+    build_scheme,
     make_scheme,
+    register_scheme,
+    registered_schemes,
 )
 from repro.core import (
     SG,
@@ -66,7 +81,13 @@ from repro.metrics import (
     reordered_neighbor_pairs,
     critical_edge_preservation,
 )
-from repro.analytics import evaluate_scheme, sweep
+from repro.analytics import (
+    CompressedRun,
+    ScoreReport,
+    Session,
+    evaluate_scheme,
+    sweep,
+)
 from repro import theory
 from repro import distributed
 
@@ -87,7 +108,13 @@ __all__ = [
     "LowDegreeVertexRemoval",
     "CutSparsifier",
     "ClusteredLowRankApproximation",
+    "SchemeSpec",
+    "StageRecord",
+    "Chain",
     "make_scheme",
+    "build_scheme",
+    "register_scheme",
+    "registered_schemes",
     "SG",
     "SlimGraphRuntime",
     "Pipeline",
@@ -110,6 +137,9 @@ __all__ = [
     "reordered_pairs_fraction",
     "reordered_neighbor_pairs",
     "critical_edge_preservation",
+    "Session",
+    "CompressedRun",
+    "ScoreReport",
     "evaluate_scheme",
     "sweep",
     "theory",

@@ -6,12 +6,16 @@ from repro.analytics.evaluation import (
     evaluate_scheme,
     default_algorithms,
 )
-from repro.analytics.tradeoff import SweepRow, sweep
+from repro.analytics.session import CompressedRun, ScoreReport, Session, SweepRow
+from repro.analytics.tradeoff import sweep
 from repro.analytics.report import format_table, write_csv
 from repro.analytics.guidance import Recommendation, recommend, PRESERVABLE_PROPERTIES
 from repro.analytics.storage import StorageReport, storage_report
 
 __all__ = [
+    "Session",
+    "CompressedRun",
+    "ScoreReport",
     "Recommendation",
     "recommend",
     "PRESERVABLE_PROPERTIES",

@@ -10,22 +10,21 @@ Routes each algorithm's output class to the right §5 metric:
 - *BFS* → critical-edge preservation.
 
 ``evaluate_scheme`` runs the whole battery and returns one record per
-algorithm — the rows behind Tables 5/6 and the §7.2 narrative.
+algorithm — the rows behind Tables 5/6 and the §7.2 narrative.  It is a
+deprecated shim over :class:`repro.analytics.session.Session`, which
+additionally caches the original-graph runs across schemes; new code
+should create a session explicitly.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.graphs.csr import CSRGraph
-from repro.metrics.bfs_quality import critical_edge_preservation
-from repro.metrics.divergences import kl_divergence
-from repro.metrics.ordering import reordered_neighbor_pairs
-from repro.metrics.scalars import relative_change
 
 __all__ = ["AlgorithmSpec", "EvaluationRecord", "evaluate_scheme", "default_algorithms"]
 
@@ -82,12 +81,6 @@ def default_algorithms(*, bfs_root: int = 0, pr_iterations: int = 100) -> list[A
     ]
 
 
-def _timed(fn, g):
-    start = time.perf_counter()
-    out = fn(g)
-    return out, time.perf_counter() - start
-
-
 def evaluate_scheme(
     g: CSRGraph,
     scheme,
@@ -101,55 +94,21 @@ def evaluate_scheme(
     Returns (records, compressed_graph).  Vector metrics are evaluated on
     the original adjacency so all schemes are compared over the same pair
     population (§5's caveat).
+
+    .. deprecated::
+        Use :class:`repro.analytics.session.Session` — a session caches
+        baseline runs across schemes and carries the backend selection.
+        This shim creates a throwaway session per call.
     """
-    algorithms = algorithms if algorithms is not None else default_algorithms(bfs_root=bfs_root)
-    result = scheme.compress(g, seed=seed)
-    compressed = result.graph
-    records: list[EvaluationRecord] = []
-    for spec in algorithms:
-        if spec.kind == "bfs":
-            t0 = time.perf_counter()
-            value = critical_edge_preservation(g, compressed, bfs_root)
-            elapsed = time.perf_counter() - t0
-            records.append(
-                EvaluationRecord(
-                    algorithm=spec.name,
-                    kind=spec.kind,
-                    metric_name="critical_edge_preservation",
-                    metric_value=float(value),
-                    original_seconds=elapsed / 2,
-                    compressed_seconds=elapsed / 2,
-                )
-            )
-            continue
-        out0, t0 = _timed(spec.fn, g)
-        out1, t1 = _timed(spec.fn, compressed)
-        if spec.kind == "scalar":
-            metric_name = "relative_change"
-            metric_value = relative_change(float(out0), float(out1))
-        elif spec.kind == "distribution":
-            metric_name = "kl_divergence"
-            metric_value = kl_divergence(np.asarray(out0), _pad(np.asarray(out1), len(out0)))
-        elif spec.kind == "vector":
-            metric_name = "reordered_neighbor_pairs"
-            metric_value = reordered_neighbor_pairs(
-                g, np.asarray(out0, dtype=float), _pad(np.asarray(out1, dtype=float), len(out0))
-            )
-        else:
-            raise ValueError(f"unknown algorithm kind {spec.kind!r}")
-        records.append(
-            EvaluationRecord(
-                algorithm=spec.name,
-                kind=spec.kind,
-                metric_name=metric_name,
-                metric_value=float(metric_value),
-                original_seconds=t0,
-                compressed_seconds=t1,
-                original_value=out0,
-                compressed_value=out1,
-            )
-        )
-    return records, compressed
+    warnings.warn(
+        "evaluate_scheme() is deprecated; use Session(g).evaluate(scheme)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.analytics.session import Session
+
+    session = Session(g, seed=seed, bfs_root=bfs_root)
+    return session.evaluate(scheme, algorithms, seed=seed)
 
 
 def _pad(x: np.ndarray, n: int) -> np.ndarray:

@@ -1,0 +1,548 @@
+"""The fluent evaluation session — the paper's §5–§6 workflow as one API.
+
+The core Slim Graph loop is "pick a scheme → run an algorithm on original
+vs. compressed → score with accuracy metrics".  :class:`Session` holds
+everything that loop shares across schemes — the graph, the seed policy,
+the execution backend, and most importantly a **baseline cache** so the
+original-graph run of each algorithm is computed once per session no
+matter how many schemes are scored against it::
+
+    from repro import Session, pagerank
+
+    session = Session(g, seed=0)
+    scores = (
+        session.compress("spanner(k=8)")
+        .run(pagerank)
+        .score(["kl"])
+    )
+    records, compressed = session.evaluate("EO-0.8-1-TR")   # battery reuses baselines
+    rows = session.sweep(["uniform(p=0.2)", "uniform(p=0.5)", "uniform(p=0.9)"])
+
+``Session.compress`` accepts anything the registry can build — spec
+strings (including TR labels and ``|`` pipelines), :class:`SchemeSpec`
+objects, or configured schemes — and returns a :class:`CompressedRun`
+whose ``run``/``score``/``evaluate`` methods chain fluently.
+
+The legacy free functions (:func:`repro.analytics.evaluation.
+evaluate_scheme`, :func:`repro.analytics.tradeoff.sweep`) are deprecated
+shims over this class.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analytics.evaluation import (
+    AlgorithmSpec,
+    EvaluationRecord,
+    _pad,
+    default_algorithms,
+)
+from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import build_scheme, get_entry
+from repro.graphs.csr import CSRGraph
+from repro.metrics.bfs_quality import critical_edge_preservation
+from repro.metrics.divergences import kl_divergence
+from repro.metrics.ordering import reordered_neighbor_pairs
+from repro.metrics.scalars import relative_change
+
+__all__ = ["Session", "CompressedRun", "ScoreReport", "SweepRow"]
+
+_UNSET = object()
+
+
+def _timed(fn, g):
+    start = time.perf_counter()
+    out = fn(g)
+    return out, time.perf_counter() - start
+
+
+def _spec_label(scheme) -> str:
+    """Spec string of a scheme; repr fallback for duck-typed objects."""
+    if hasattr(scheme, "spec"):
+        return scheme.spec().to_string()
+    return repr(scheme)
+
+
+def _as_distribution(value) -> np.ndarray:
+    """Coerce an algorithm output to a 1-D float array (``.ranks`` aware)."""
+    if hasattr(value, "ranks"):
+        value = value.ranks
+    return np.asarray(value, dtype=float)
+
+
+# Canonical metric name -> implementation.  Each takes the session graph
+# pair plus the algorithm outputs on (original, compressed).
+def _metric_kl(session, run, out0, out1) -> float:
+    a = _as_distribution(out0)
+    b = _pad(_as_distribution(out1), len(a))
+    return float(kl_divergence(a, b))
+
+
+def _metric_reordered_pairs(session, run, out0, out1) -> float:
+    a = np.asarray(_as_distribution(out0), dtype=float)
+    b = _pad(np.asarray(_as_distribution(out1), dtype=float), len(a))
+    return float(reordered_neighbor_pairs(session.graph, a, b))
+
+
+def _metric_relative_change(session, run, out0, out1) -> float:
+    return float(relative_change(float(out0), float(out1)))
+
+
+def _metric_critical_edges(session, run, out0, out1) -> float:
+    return float(
+        critical_edge_preservation(session.graph, run.graph, session.bfs_root)
+    )
+
+
+_METRICS: dict[str, Callable] = {
+    "kl_divergence": _metric_kl,
+    "reordered_neighbor_pairs": _metric_reordered_pairs,
+    "relative_change": _metric_relative_change,
+    "critical_edge_preservation": _metric_critical_edges,
+}
+
+_METRIC_ALIASES = {
+    "kl": "kl_divergence",
+    "kl_divergence": "kl_divergence",
+    "reordered_pairs": "reordered_neighbor_pairs",
+    "reordered_neighbor_pairs": "reordered_neighbor_pairs",
+    "relative_change": "relative_change",
+    "rel_change": "relative_change",
+    "critical_edges": "critical_edge_preservation",
+    "critical_edge_preservation": "critical_edge_preservation",
+}
+
+# kind -> default metric, mirroring the §5 routing of evaluate_scheme.
+_DEFAULT_METRIC_BY_KIND = {
+    "scalar": "relative_change",
+    "distribution": "kl_divergence",
+    "vector": "reordered_neighbor_pairs",
+    "bfs": "critical_edge_preservation",
+}
+
+
+def _resolve_metric(name: str) -> tuple[str, Callable]:
+    key = _METRIC_ALIASES.get(name.lower())
+    if key is None:
+        raise ValueError(
+            f"unknown metric {name!r}; known: {sorted(set(_METRIC_ALIASES))}"
+        )
+    return key, _METRICS[key]
+
+
+class ScoreReport(Mapping):
+    """Scores as ``{algorithm: {metric: value}}`` with a flat shortcut.
+
+    When exactly one algorithm was scored, ``report["kl_divergence"]``
+    resolves directly; with several, index by algorithm first.
+    """
+
+    def __init__(self, scores: dict[str, dict[str, float]]):
+        self._scores = scores
+
+    def __getitem__(self, key: str):
+        if key in self._scores:
+            return self._scores[key]
+        key = _METRIC_ALIASES.get(key, key)
+        if len(self._scores) == 1:
+            return next(iter(self._scores.values()))[key]
+        raise KeyError(key)
+
+    def __iter__(self):
+        return iter(self._scores)
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __repr__(self) -> str:
+        return f"ScoreReport({self._scores!r})"
+
+
+class _AlgorithmRun:
+    """One algorithm executed on (original, compressed)."""
+
+    __slots__ = ("spec", "out0", "t0", "out1", "t1")
+
+    def __init__(self, spec, out0, t0, out1, t1):
+        self.spec = spec
+        self.out0 = out0
+        self.t0 = t0
+        self.out1 = out1
+        self.t1 = t1
+
+
+class CompressedRun:
+    """A compressed graph bound to its session; the fluent handle."""
+
+    def __init__(self, session: "Session", scheme: CompressionScheme, result: CompressionResult):
+        self.session = session
+        self.scheme = scheme
+        self.result = result
+        self._runs: dict[str, _AlgorithmRun] = {}
+
+    # -- views ------------------------------------------------------------- #
+
+    @property
+    def graph(self) -> CSRGraph:
+        return self.result.graph
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.result.compression_ratio
+
+    @property
+    def lineage(self):
+        return self.result.lineage
+
+    def __repr__(self) -> str:
+        return f"CompressedRun({_spec_label(self.scheme)!r}, ratio={self.compression_ratio:.3f})"
+
+    # -- running algorithms ------------------------------------------------ #
+
+    def _as_algorithm_spec(self, algorithm, kind, name) -> AlgorithmSpec:
+        if isinstance(algorithm, AlgorithmSpec):
+            return algorithm
+        if isinstance(algorithm, str):
+            battery = {s.name: s for s in self.session.default_battery()}
+            if algorithm not in battery:
+                raise ValueError(
+                    f"unknown algorithm {algorithm!r}; known: {sorted(battery)}"
+                )
+            return battery[algorithm]
+        if callable(algorithm):
+            return AlgorithmSpec(
+                name or getattr(algorithm, "__name__", "algorithm"),
+                algorithm,
+                kind or "distribution",
+            )
+        raise TypeError(f"cannot interpret algorithm {algorithm!r}")
+
+    def run(self, algorithm, *more, kind: str | None = None, name: str | None = None) -> "CompressedRun":
+        """Execute ``algorithm`` on the compressed graph (and, via the
+        session's baseline cache, on the original).  Returns ``self``.
+
+        ``algorithm`` may be a callable (``pagerank``), a battery name
+        (``"pr"``, ``"cc"``, ``"tc"``, ``"tc_per_vertex"``, ``"bfs"``), or
+        an :class:`AlgorithmSpec`; extra positional algorithms queue in
+        one call: ``.run(pagerank, "cc")``.
+        """
+        for alg in (algorithm, *more):
+            spec = self._as_algorithm_spec(alg, kind, name)
+            if spec.kind == "bfs":
+                # The BFS metric runs its own paired traversal lazily at
+                # score time; nothing to execute here.
+                self._runs[spec.name] = _AlgorithmRun(spec, None, 0.0, None, 0.0)
+                continue
+            out0, t0 = self.session.baseline(spec)
+            out1, t1 = _timed(spec.fn, self.graph)
+            self._runs[spec.name] = _AlgorithmRun(spec, out0, t0, out1, t1)
+        return self
+
+    def outputs(self, algorithm_name: str):
+        """(original_output, compressed_output) of a ``.run()`` algorithm.
+
+        The original-graph output comes from the session's baseline cache;
+        use this instead of re-running the algorithm for custom metrics.
+        """
+        run = self._runs.get(algorithm_name)
+        if run is None:
+            raise ValueError(
+                f"algorithm {algorithm_name!r} has not been run; "
+                f"known: {sorted(self._runs)}"
+            )
+        return run.out0, run.out1
+
+    # -- scoring ----------------------------------------------------------- #
+
+    def score(self, metrics: Sequence[str] | None = None) -> ScoreReport:
+        """Score every run so far; terminal step of the fluent chain.
+
+        ``metrics`` names (``"kl"``, ``"reordered_pairs"``,
+        ``"relative_change"``, ``"critical_edges"``, or their canonical
+        long forms) apply to every run; ``None`` picks each run's default
+        metric from its algorithm kind (§5 routing).
+        """
+        if not self._runs:
+            raise ValueError("no algorithms run yet; call .run(...) first")
+        scores: dict[str, dict[str, float]] = {}
+        for alg_name, run in self._runs.items():
+            if metrics is None:
+                chosen = [_DEFAULT_METRIC_BY_KIND[run.spec.kind]]
+            else:
+                chosen = list(metrics)
+            out: dict[str, float] = {}
+            for metric in chosen:
+                key, fn = _resolve_metric(metric)
+                if run.spec.kind == "bfs" and key != "critical_edge_preservation":
+                    raise ValueError(
+                        f"bfs runs produce no algorithm output; only "
+                        f"'critical_edges' can score {alg_name!r}, not {metric!r}"
+                    )
+                out[key] = fn(self.session, self, run.out0, run.out1)
+            scores[alg_name] = out
+        return ScoreReport(scores)
+
+    # -- the §5 battery ---------------------------------------------------- #
+
+    def evaluate(self, algorithms: list[AlgorithmSpec] | None = None) -> list[EvaluationRecord]:
+        """Run the metric battery; original runs come from the cache."""
+        session = self.session
+        algorithms = (
+            algorithms if algorithms is not None else session.default_battery()
+        )
+        records: list[EvaluationRecord] = []
+        for spec in algorithms:
+            if spec.kind == "bfs":
+                start = time.perf_counter()
+                value = critical_edge_preservation(
+                    session.graph, self.graph, session.bfs_root
+                )
+                elapsed = time.perf_counter() - start
+                records.append(
+                    EvaluationRecord(
+                        algorithm=spec.name,
+                        kind=spec.kind,
+                        metric_name="critical_edge_preservation",
+                        metric_value=float(value),
+                        original_seconds=elapsed / 2,
+                        compressed_seconds=elapsed / 2,
+                    )
+                )
+                continue
+            metric_name = _DEFAULT_METRIC_BY_KIND.get(spec.kind)
+            if metric_name is None:
+                raise ValueError(f"unknown algorithm kind {spec.kind!r}")
+            out0, t0 = session.baseline(spec)
+            out1, t1 = _timed(spec.fn, self.graph)
+            metric_value = _METRICS[metric_name](session, self, out0, out1)
+            records.append(
+                EvaluationRecord(
+                    algorithm=spec.name,
+                    kind=spec.kind,
+                    metric_name=metric_name,
+                    metric_value=float(metric_value),
+                    original_seconds=t0,
+                    compressed_seconds=t1,
+                    original_value=out0,
+                    compressed_value=out1,
+                )
+            )
+        return records
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One tradeoff data point (a Fig. 5 cell).
+
+    The historical :class:`repro.analytics.tradeoff.SweepRow` plus the
+    generating ``scheme_spec``; re-exported from there for back
+    compatibility.
+    """
+
+    parameter: float
+    algorithm: str
+    compression_ratio: float
+    relative_runtime_difference: float
+    metric_name: str
+    metric_value: float
+    scheme_spec: str = ""
+
+
+class Session:
+    """Shared state for evaluating many schemes against one graph.
+
+    Parameters
+    ----------
+    graph:
+        The original graph every scheme is applied to and compared against.
+    seed:
+        Default compression seed (overridable per :meth:`compress` call).
+    backend, num_chunks:
+        Execution backend for kernel-path compression
+        (:meth:`compress` with ``via="kernels"``): ``"serial"`` or
+        ``"chunked"``, selected here once for the whole session.
+    bfs_root, pr_iterations:
+        Parameters of the default §5 algorithm battery.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        seed=0,
+        backend: str = "serial",
+        num_chunks: int | None = None,
+        bfs_root: int = 0,
+        pr_iterations: int = 100,
+    ):
+        self.graph = graph
+        self.seed = seed
+        self.backend = backend
+        self.num_chunks = num_chunks
+        self.bfs_root = bfs_root
+        self.pr_iterations = pr_iterations
+        self._battery: list[AlgorithmSpec] | None = None
+        self._baselines: dict = {}
+        #: Number of original-graph algorithm executions (cache misses);
+        #: the baseline-reuse guarantee is observable through this counter.
+        self.baseline_computations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(graph={self.graph!r}, seed={self.seed!r}, "
+            f"backend={self.backend!r}, cached_baselines={len(self._baselines)})"
+        )
+
+    # -- baseline cache ---------------------------------------------------- #
+
+    def default_battery(self) -> list[AlgorithmSpec]:
+        """The §5 battery, created once so its specs key the cache."""
+        if self._battery is None:
+            self._battery = default_algorithms(
+                bfs_root=self.bfs_root, pr_iterations=self.pr_iterations
+            )
+        return self._battery
+
+    def baseline(self, spec: AlgorithmSpec):
+        """(output, seconds) of ``spec`` on the original graph, cached.
+
+        Algorithms are identified by ``(name, kind)`` within a session:
+        register distinct names for distinct computations.
+        """
+        key = (spec.name, spec.kind)
+        cached = self._baselines.get(key)
+        if cached is None:
+            self.baseline_computations += 1
+            cached = _timed(spec.fn, self.graph)
+            self._baselines[key] = cached
+        return cached
+
+    # -- compression ------------------------------------------------------- #
+
+    def compress(self, scheme, *, seed=_UNSET, via: str = "fast") -> CompressedRun:
+        """Compress the session graph; returns the fluent handle.
+
+        ``scheme`` is anything :func:`repro.compress.registry.build_scheme`
+        accepts.  ``via="kernels"`` executes the scheme's compression-kernel
+        program on the session's backend instead of the vectorized path.
+        """
+        scheme = build_scheme(scheme)
+        seed = self.seed if seed is _UNSET else seed
+        if via == "fast":
+            result = scheme.compress(self.graph, seed=seed)
+        elif via == "kernels":
+            result = scheme.compress_via_kernels(
+                self.graph,
+                seed=seed,
+                backend=self.backend,
+                num_chunks=self.num_chunks,
+            )
+        else:
+            raise ValueError(f"via must be 'fast' or 'kernels', got {via!r}")
+        return CompressedRun(self, scheme, result)
+
+    # -- battery + sweeps -------------------------------------------------- #
+
+    def evaluate(
+        self,
+        scheme,
+        algorithms: list[AlgorithmSpec] | None = None,
+        *,
+        seed=_UNSET,
+        via: str = "fast",
+    ) -> tuple[list[EvaluationRecord], CSRGraph]:
+        """Compress and run the metric battery; (records, compressed)."""
+        run = self.compress(scheme, seed=seed, via=via)
+        return run.evaluate(algorithms), run.graph
+
+    def sweep(
+        self,
+        schemes: Iterable,
+        *,
+        parameters: Sequence | None = None,
+        algorithms: list[AlgorithmSpec] | None = None,
+        seed=_UNSET,
+        repeats: int = 1,
+    ) -> list[SweepRow]:
+        """Run the battery for every scheme in ``schemes``.
+
+        ``schemes`` may mix spec strings, :class:`SchemeSpec` objects, and
+        configured schemes; duplicates (by scheme equality) are evaluated
+        once.  ``parameters`` labels the rows; when omitted, each scheme's
+        registered positional parameter is used (falling back to the list
+        index).  ``repeats`` keeps the best (minimum) compressed timing
+        per cell, damping scheduler noise.
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        built = [build_scheme(s) for s in schemes]
+        if parameters is not None:
+            parameters = list(parameters)
+            if len(parameters) != len(built):
+                raise ValueError("parameters must align with schemes")
+        else:
+            parameters = [
+                self._default_parameter(scheme, index)
+                for index, scheme in enumerate(built)
+            ]
+        base_seed = self.seed if seed is _UNSET else seed
+        rows: list[SweepRow] = []
+        # Cache evaluation outcomes per scheme (params-driven eq/hash), so
+        # duplicate schemes are executed once but every (scheme, parameter)
+        # pair still gets its own correctly-labeled rows.
+        seen: dict[CompressionScheme, tuple[float, list[EvaluationRecord]]] = {}
+        for scheme, parameter in zip(built, parameters):
+            cached = seen.get(scheme)
+            if cached is None:
+                best: dict[str, EvaluationRecord] = {}
+                ratio = 1.0
+                for r in range(repeats):
+                    cell_seed = base_seed + r if isinstance(base_seed, int) else base_seed
+                    records, compressed = self.evaluate(
+                        scheme, algorithms, seed=cell_seed
+                    )
+                    ratio = (
+                        compressed.num_edges / self.graph.num_edges
+                        if self.graph.num_edges
+                        else 1.0
+                    )
+                    for rec in records:
+                        prev = best.get(rec.algorithm)
+                        if prev is None or rec.compressed_seconds < prev.compressed_seconds:
+                            best[rec.algorithm] = rec
+                cached = (ratio, list(best.values()))
+                seen[scheme] = cached
+            ratio, best_records = cached
+            rows.extend(
+                SweepRow(
+                    parameter=parameter,
+                    algorithm=rec.algorithm,
+                    compression_ratio=ratio,
+                    relative_runtime_difference=rec.relative_runtime_difference,
+                    metric_name=rec.metric_name,
+                    metric_value=rec.metric_value,
+                    scheme_spec=_spec_label(scheme),
+                )
+                for rec in best_records
+            )
+        return rows
+
+    @staticmethod
+    def _default_parameter(scheme, index: int):
+        name = getattr(scheme, "name", None)
+        if not isinstance(name, str):
+            return float(index)
+        try:
+            entry = get_entry(name)
+        except ValueError:
+            return float(index)
+        if entry.positional:
+            value = scheme.params().get(entry.positional)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return value
+        return float(index)

@@ -4,29 +4,24 @@
 algorithm battery on original vs compressed graphs and recording the
 compression ratio — one row per (parameter value, algorithm), which is
 exactly the data behind each Fig. 5 panel.
+
+It is a deprecated shim over :meth:`repro.analytics.session.Session.sweep`,
+which additionally accepts spec-string lists, deduplicates equal schemes,
+and reuses cached baseline runs; new code should create a session.
+:class:`SweepRow` now lives in :mod:`repro.analytics.session` and is
+re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+import warnings
+from typing import Callable, Sequence
 
-from repro.analytics.evaluation import AlgorithmSpec, evaluate_scheme
+from repro.analytics.evaluation import AlgorithmSpec
+from repro.analytics.session import Session, SweepRow
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["SweepRow", "sweep"]
-
-
-@dataclass(frozen=True)
-class SweepRow:
-    """One Fig. 5 data point."""
-
-    parameter: float
-    algorithm: str
-    compression_ratio: float
-    relative_runtime_difference: float
-    metric_name: str
-    metric_value: float
 
 
 def sweep(
@@ -43,32 +38,23 @@ def sweep(
     ``repeats`` re-runs each cell and keeps the best (minimum) times,
     damping scheduler noise the way the paper's warmup-and-mean
     methodology does at larger scale.
+
+    .. deprecated::
+        Use ``Session(g).sweep([...])`` — it takes spec strings directly
+        and shares one baseline cache across the whole sweep.
     """
+    warnings.warn(
+        "sweep() is deprecated; use Session(g).sweep(schemes)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    rows: list[SweepRow] = []
-    for value in parameter_values:
-        scheme = scheme_factory(value)
-        best: dict[str, "tuple"] = {}
-        ratio = 1.0
-        for r in range(repeats):
-            records, compressed = evaluate_scheme(
-                g, scheme, algorithms, seed=seed + r
-            )
-            ratio = compressed.num_edges / g.num_edges if g.num_edges else 1.0
-            for rec in records:
-                prev = best.get(rec.algorithm)
-                if prev is None or rec.compressed_seconds < prev[0].compressed_seconds:
-                    best[rec.algorithm] = (rec,)
-        for (rec,) in best.values():
-            rows.append(
-                SweepRow(
-                    parameter=float(value),
-                    algorithm=rec.algorithm,
-                    compression_ratio=ratio,
-                    relative_runtime_difference=rec.relative_runtime_difference,
-                    metric_name=rec.metric_name,
-                    metric_value=rec.metric_value,
-                )
-            )
-    return rows
+    session = Session(g, seed=seed)
+    return session.sweep(
+        [scheme_factory(value) for value in parameter_values],
+        parameters=[float(value) for value in parameter_values],
+        algorithms=algorithms,
+        seed=seed,
+        repeats=repeats,
+    )

@@ -1,6 +1,8 @@
 """Lossy compression schemes (Table 2) and the scheme registry."""
 
-from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.base import CompressionResult, CompressionScheme, StageRecord
+from repro.compress.chain import Chain
+from repro.compress.spec import SchemeSpec
 from repro.compress.uniform import RandomUniformSampling, RandomUniformKernel
 from repro.compress.spectral import (
     SpectralSparsifier,
@@ -34,11 +36,29 @@ from repro.compress.sampling import (
     RandomWalkSampling,
     VertexSamplingKernel,
 )
-from repro.compress.registry import make_scheme, SCHEME_FACTORIES
+from repro.compress.registry import (
+    SCHEME_FACTORIES,
+    SchemeEntry,
+    build_scheme,
+    get_entry,
+    make_scheme,
+    register_scheme,
+    registered_schemes,
+    unregister_scheme,
+)
 
 __all__ = [
     "CompressionResult",
     "CompressionScheme",
+    "StageRecord",
+    "Chain",
+    "SchemeSpec",
+    "SchemeEntry",
+    "register_scheme",
+    "unregister_scheme",
+    "registered_schemes",
+    "get_entry",
+    "build_scheme",
     "RandomUniformSampling",
     "RandomUniformKernel",
     "SpectralSparsifier",

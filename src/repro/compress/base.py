@@ -20,9 +20,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.compress.spec import SchemeSpec, _freeze
 from repro.graphs.csr import CSRGraph
 
-__all__ = ["CompressionResult", "CompressionScheme"]
+__all__ = ["CompressionResult", "CompressionScheme", "StageRecord"]
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Provenance of one compression stage, kept in result lineages."""
+
+    scheme: str
+    params: dict
+    vertices_in: int
+    vertices_out: int
+    edges_in: int
+    edges_out: int
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "params": dict(self.params),
+            "vertices_in": self.vertices_in,
+            "vertices_out": self.vertices_out,
+            "edges_in": self.edges_in,
+            "edges_out": self.edges_out,
+        }
 
 
 @dataclass(frozen=True)
@@ -30,7 +53,10 @@ class CompressionResult:
     """A compressed graph plus provenance.
 
     ``extras`` carries scheme-specific artifacts (spanner cluster mapping,
-    summarization corrections, low-rank factors, …).
+    summarization corrections, low-rank factors, …).  ``lineage`` records
+    the stage-by-stage provenance: one :class:`StageRecord` per applied
+    scheme (auto-populated for single-scheme results; ``Chain`` results
+    concatenate the records of every stage).
     """
 
     graph: CSRGraph
@@ -38,6 +64,21 @@ class CompressionResult:
     scheme: str
     params: dict
     extras: dict = field(default_factory=dict)
+    lineage: tuple = ()
+
+    def __post_init__(self):
+        if not self.lineage:
+            record = StageRecord(
+                scheme=self.scheme,
+                params=dict(self.params),
+                vertices_in=self.original.n,
+                vertices_out=self.graph.n,
+                edges_in=self.original.num_edges,
+                edges_out=self.graph.num_edges,
+            )
+            object.__setattr__(self, "lineage", (record,))
+        else:
+            object.__setattr__(self, "lineage", tuple(self.lineage))
 
     @property
     def compression_ratio(self) -> float:
@@ -82,8 +123,21 @@ class CompressionScheme:
         return dict(self.params())
 
     def params(self) -> dict:
-        """The scheme's parameter dictionary (for reports)."""
+        """The scheme's parameter dictionary.
+
+        This is the scheme's *identity*: it drives ``__repr__``,
+        ``__eq__``, ``__hash__``, and :meth:`spec`, so two schemes with
+        equal class and params are interchangeable (deduplicatable in
+        sweeps, usable as cache keys).
+        """
         return {}
+
+    def spec(self) -> SchemeSpec:
+        """This scheme's declarative, serializable description.
+
+        Round trip: ``build_scheme(scheme.spec()) == scheme``.
+        """
+        return SchemeSpec(self.name, self.params())
 
     def compress_via_kernels(
         self,
@@ -119,6 +173,26 @@ class CompressionScheme:
         """Convenience: scheme(graph) -> compressed graph."""
         return self.compress(g, seed=seed).graph
 
+    # -- composition ------------------------------------------------------- #
+
+    def __or__(self, other) -> "CompressionScheme":
+        """``s1 | s2``: compose schemes into a sequential pipeline."""
+        from repro.compress.chain import Chain
+
+        return Chain([self, other])
+
+    # -- identity (driven by params()) ------------------------------------- #
+
     def __repr__(self) -> str:
         args = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
         return f"{type(self).__name__}({args})"
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.params() == other.params()
+
+    def __hash__(self) -> int:
+        return hash((type(self), _freeze(self.params())))

@@ -1,0 +1,85 @@
+"""Sequential composition of compression schemes.
+
+The paper evaluates schemes one at a time, but its programming model
+explicitly allows stacking kernels (§4.1: compression kernels are closed
+under composition — the output of one is a valid input of the next).
+:class:`Chain` makes that first-class in the scheme API::
+
+    pipeline = LowDegreeVertexRemoval(max_degree=1) | Spanner(4)
+    result = pipeline.compress(g, seed=0)
+    [stage.scheme for stage in result.lineage]
+    # ['low_degree', 'spanner']
+
+Each stage compresses the previous stage's output; the final
+:class:`~repro.compress.base.CompressionResult` keeps the *first* graph as
+``original`` (so ``compression_ratio`` measures the whole pipeline) and
+threads per-stage provenance through ``result.lineage``.
+
+Chains parse from and format to the ``|`` spec syntax
+(``"low_degree(max_degree=1) | spanner(k=4)"``), so they travel through
+the same registry/spec machinery as single schemes.
+"""
+
+from __future__ import annotations
+
+from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.spec import SchemeSpec
+from repro.graphs.csr import CSRGraph
+from repro.utils.rng import as_generator
+
+__all__ = ["Chain"]
+
+
+class Chain(CompressionScheme):
+    """Apply ``stages`` left to right; provenance lands in ``lineage``."""
+
+    name = "chain"
+
+    def __init__(self, stages):
+        from repro.compress.registry import build_scheme
+
+        flat: list[CompressionScheme] = []
+        for stage in stages:
+            scheme = build_scheme(stage)
+            if isinstance(scheme, Chain):
+                flat.extend(scheme.stages)
+            else:
+                flat.append(scheme)
+        if not flat:
+            raise ValueError("chain needs at least one stage")
+        self.stages = tuple(flat)
+
+    def params(self) -> dict:
+        return {"stages": tuple(stage.spec() for stage in self.stages)}
+
+    def spec(self) -> SchemeSpec:
+        return SchemeSpec(
+            "chain", {}, tuple(stage.spec() for stage in self.stages)
+        )
+
+    def __or__(self, other) -> "Chain":
+        return Chain([*self.stages, other])
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(stage) for stage in self.stages)
+
+    def compress(self, g: CSRGraph, *, seed=None) -> CompressionResult:
+        # One shared stream: stage i+1's draws follow stage i's, so the
+        # whole pipeline is reproducible from a single seed.
+        rng = as_generator(seed)
+        current = g
+        lineage: list = []
+        stage_extras: list[dict] = []
+        for stage in self.stages:
+            result = stage.compress(current, seed=rng)
+            lineage.extend(result.lineage)
+            stage_extras.append(result.extras)
+            current = result.graph
+        return CompressionResult(
+            graph=current,
+            original=g,
+            scheme=self.name,
+            params={"stages": [stage.spec().to_string() for stage in self.stages]},
+            extras={"stage_extras": stage_extras},
+            lineage=tuple(lineage),
+        )

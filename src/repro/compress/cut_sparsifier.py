@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.algorithms.mst import UnionFind
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import register_scheme
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
 
@@ -52,14 +53,18 @@ def ni_forest_indices(g: CSRGraph, max_forests: int | None = None) -> np.ndarray
     return index
 
 
+@register_scheme(
+    "cut_sparsifier",
+    positional="epsilon",
+    summary="Benczúr–Karger sampling by NI edge strength; cuts within 1±ε (§4.6)",
+    example="cut_sparsifier(epsilon=0.5)",
+)
 class CutSparsifier(CompressionScheme):
     """Keep edge e with p_e = min(1, c/(ε²·k_e)); reweight kept edges.
 
     ``k_e`` is the NI strength estimate; ``c`` absorbs the O(log n) factor
     of the Benczúr–Karger theorem and is exposed for experiments.
     """
-
-    name = "cut_sparsifier"
 
     def __init__(self, epsilon: float, *, c: float = 1.0, max_forests: int = 64):
         if epsilon <= 0:

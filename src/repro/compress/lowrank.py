@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import register_scheme
 from repro.graphs.csr import CSRGraph
 from repro.graphs.views import cluster_subgraphs
 from repro.utils.rng import as_generator
@@ -23,6 +24,12 @@ from repro.utils.rng import as_generator
 __all__ = ["ClusteredLowRankApproximation"]
 
 
+@register_scheme(
+    "lowrank",
+    positional="rank",
+    summary="per-cluster rank-r SVD of the adjacency matrix (baseline, §2)",
+    example="lowrank(rank=4)",
+)
 class ClusteredLowRankApproximation(CompressionScheme):
     """Rank-``r`` clustered SVD of the adjacency matrix.
 
@@ -41,8 +48,6 @@ class ClusteredLowRankApproximation(CompressionScheme):
         Keep inter-cluster edges exactly (True) or drop them (False, the
         harsher variant).
     """
-
-    name = "lowrank"
 
     def __init__(
         self,

@@ -1,48 +1,224 @@
-"""Name-based scheme construction.
+"""The open compression-scheme registry.
 
-The benchmark harness and examples refer to schemes by the labels the
-paper's figures use (``"uniform(p=0.5)"``, ``"EO-0.8-1-TR"``,
-``"spanner(k=32)"``); this registry turns those strings into configured
-scheme objects.
+Schemes declare themselves with the :func:`register_scheme` class
+decorator::
+
+    @register_scheme("spanner", positional="k",
+                     summary="LDD spanning trees + one crossing edge",
+                     example="spanner(k=8)")
+    class Spanner(CompressionScheme):
+        ...
+
+Registration makes a scheme constructible from any spec surface —
+``make_scheme("spanner(k=8)")``, ``SchemeSpec.parse(...)``, a JSON dict —
+without the registry having to know about the class up front, so external
+code can add schemes the same way the ~11 built-ins do.
+
+:func:`make_scheme` is kept as the historical entry point; it is now a
+thin shim over :func:`build_scheme`, which accepts spec strings (including
+the paper's TR labels and ``|`` pipelines), :class:`SchemeSpec` objects,
+or an already-configured scheme.
 """
 
 from __future__ import annotations
 
-import re
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.compress.base import CompressionScheme
-from repro.compress.cut_sparsifier import CutSparsifier
-from repro.compress.lowrank import ClusteredLowRankApproximation
-from repro.compress.sampling import RandomVertexSampling, RandomWalkSampling
-from repro.compress.spanner import Spanner
-from repro.compress.spectral import SpectralSparsifier
-from repro.compress.summarization import LossySummarization
-from repro.compress.triangle_reduction import TriangleReduction
-from repro.compress.uniform import RandomUniformSampling
-from repro.compress.vertex_filters import LowDegreeVertexRemoval
+from repro.compress.spec import SchemeSpec
 
-__all__ = ["make_scheme", "SCHEME_FACTORIES"]
-
-SCHEME_FACTORIES = {
-    "uniform": RandomUniformSampling,
-    "spectral": SpectralSparsifier,
-    "tr": TriangleReduction,
-    "triangle_reduction": TriangleReduction,
-    "spanner": Spanner,
-    "summarization": LossySummarization,
-    "low_degree": LowDegreeVertexRemoval,
-    "cut_sparsifier": CutSparsifier,
-    "lowrank": ClusteredLowRankApproximation,
-    "vertex_sampling": RandomVertexSampling,
-    "random_walk_sampling": RandomWalkSampling,
-}
-
-# Paper-style TR labels: "0.5-1-TR", "EO-0.8-1-TR", "CT-0.5-1-TR".
-_TR_LABEL = re.compile(r"^(?:(EO|CT)-)?([0-9.]+)-([12])-TR$", re.IGNORECASE)
+__all__ = [
+    "SchemeEntry",
+    "register_scheme",
+    "unregister_scheme",
+    "registered_schemes",
+    "get_entry",
+    "resolve_name",
+    "positional_param",
+    "build_scheme",
+    "make_scheme",
+    "SCHEME_FACTORIES",
+]
 
 
-def make_scheme(spec: str, **overrides) -> CompressionScheme:
+@dataclass(frozen=True)
+class SchemeEntry:
+    """Everything the registry knows about one scheme."""
+
+    name: str
+    factory: type
+    positional: str | None = None
+    aliases: tuple[str, ...] = ()
+    summary: str = ""
+    example: str = ""
+
+
+_REGISTRY: dict[str, SchemeEntry] = {}
+_ALIASES: dict[str, str] = {}  # lowercase alias (incl. canonical) -> canonical
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in scheme modules so their decorators run.
+
+    Lazy so ``repro.compress.registry`` can be imported by the scheme
+    modules themselves without a cycle; triggered by every lookup.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.compress.chain  # noqa: F401
+    import repro.compress.cut_sparsifier  # noqa: F401
+    import repro.compress.lowrank  # noqa: F401
+    import repro.compress.sampling  # noqa: F401
+    import repro.compress.spanner  # noqa: F401
+    import repro.compress.spectral  # noqa: F401
+    import repro.compress.summarization  # noqa: F401
+    import repro.compress.triangle_reduction  # noqa: F401
+    import repro.compress.uniform  # noqa: F401
+    import repro.compress.vertex_filters  # noqa: F401
+
+
+def register_scheme(
+    name: str,
+    *,
+    positional: str | None = None,
+    aliases: tuple[str, ...] | list[str] = (),
+    summary: str = "",
+    example: str = "",
+):
+    """Class decorator adding a :class:`CompressionScheme` to the registry.
+
+    Parameters
+    ----------
+    name:
+        Canonical registry name; also assigned to ``cls.name``.
+    positional:
+        The conventional first parameter (``p`` / ``k`` / ``epsilon`` /
+        ``rank``): bare values in specs (``"spanner(8)"``) bind to it, and
+        it is passed positionally at construction.
+    aliases:
+        Additional names resolving to this scheme (e.g. ``"tr"``).
+    summary, example:
+        One-line description and a representative spec string, used by
+        docs, tests, and the README scheme table.
+    """
+
+    def decorator(cls):
+        key = name.lower()
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing.factory.__qualname__ != cls.__qualname__:
+            raise ValueError(
+                f"scheme name {name!r} already registered to "
+                f"{existing.factory.__qualname__}"
+            )
+        name_owner = _ALIASES.get(key)
+        if name_owner is not None and name_owner != key:
+            raise ValueError(
+                f"scheme name {name!r} already registered as an alias of "
+                f"{name_owner!r}"
+            )
+        for alias in aliases:
+            owner = _ALIASES.get(alias.lower())
+            if owner is not None and owner != key:
+                raise ValueError(
+                    f"alias {alias!r} already registered to scheme {owner!r}"
+                )
+        entry = SchemeEntry(
+            name=key,
+            factory=cls,
+            positional=positional,
+            aliases=tuple(a.lower() for a in aliases),
+            summary=summary,
+            example=example or key,
+        )
+        _REGISTRY[key] = entry
+        _ALIASES[key] = key
+        for alias in entry.aliases:
+            _ALIASES[alias] = key
+        cls.name = key
+        return cls
+
+    return decorator
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a scheme (and its aliases) from the registry."""
+    key = resolve_name(name)
+    if key is None:
+        raise ValueError(f"unknown scheme {name!r}")
+    entry = _REGISTRY.pop(key)
+    for alias in (key, *entry.aliases):
+        _ALIASES.pop(alias, None)
+
+
+def resolve_name(name: str) -> str | None:
+    """Canonical name for ``name`` (alias-aware), or None if unknown."""
+    _ensure_builtins()
+    return _ALIASES.get(name.lower())
+
+
+def positional_param(name: str) -> str | None:
+    """The registered positional parameter of ``name``, if any."""
+    key = resolve_name(name)
+    return _REGISTRY[key].positional if key else None
+
+
+def get_entry(name: str) -> SchemeEntry:
+    key = resolve_name(name)
+    if key is None:
+        raise ValueError(
+            f"unknown scheme {name.lower()!r}; known: {sorted(_ALIASES)}"
+        )
+    return _REGISTRY[key]
+
+
+def registered_schemes() -> dict[str, SchemeEntry]:
+    """Canonical name -> entry, for iteration (docs, round-trip tests)."""
+    _ensure_builtins()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def build_scheme(spec, **overrides) -> CompressionScheme:
+    """Construct a configured scheme from any spec surface.
+
+    ``spec`` may be a spec string (named form, paper-style TR label, or a
+    ``|`` pipeline), a :class:`SchemeSpec`, or an existing scheme (returned
+    unchanged, for idempotent call sites).
+    """
+    _ensure_builtins()
+    if isinstance(spec, CompressionScheme) or (
+        not isinstance(spec, (str, SchemeSpec)) and hasattr(spec, "compress")
+    ):
+        # Configured scheme (or duck-typed object): pass through unchanged.
+        if overrides:
+            raise ValueError("cannot apply overrides to an existing scheme")
+        return spec
+    if isinstance(spec, str):
+        spec = SchemeSpec.parse(spec)
+    if not isinstance(spec, SchemeSpec):
+        raise TypeError(f"expected spec string, SchemeSpec, or scheme; got {spec!r}")
+    if spec.stages:
+        from repro.compress.chain import Chain
+
+        if overrides:
+            raise ValueError("overrides are not supported for chain specs")
+        return Chain([build_scheme(stage) for stage in spec.stages])
+    entry = get_entry(spec.name)
+    kwargs = {**spec.params, **overrides}
+    if entry.positional and entry.positional in kwargs:
+        first = kwargs.pop(entry.positional)
+        return entry.factory(first, **kwargs)
+    return entry.factory(**kwargs)
+
+
+def make_scheme(spec, **overrides) -> CompressionScheme:
     """Construct a scheme from a paper-style label or ``name(key=value,…)``.
+
+    Back-compat shim over :func:`build_scheme` (the registry is the source
+    of truth; this name predates it and remains the documented entry).
 
     Examples
     --------
@@ -51,44 +227,32 @@ def make_scheme(spec: str, **overrides) -> CompressionScheme:
     >>> make_scheme("EO-0.8-1-TR").variant
     'edge_once'
     >>> make_scheme("spanner(k=32)").k
-    32.0
+    32
     """
-    spec = spec.strip()
-    tr = _TR_LABEL.match(spec)
-    if tr:
-        prefix, p, x = tr.groups()
-        variant = {"EO": "edge_once", "CT": "count_triangles", None: "basic"}[
-            prefix.upper() if prefix else None
-        ]
-        return TriangleReduction(float(p), x=int(x), variant=variant, **overrides)
-    m = re.match(r"^(\w+)\s*(?:\((.*)\))?$", spec)
-    if not m:
-        raise ValueError(f"cannot parse scheme spec {spec!r}")
-    name, args = m.groups()
-    name = name.lower()
-    if name not in SCHEME_FACTORIES:
-        raise ValueError(f"unknown scheme {name!r}; known: {sorted(SCHEME_FACTORIES)}")
-    kwargs = dict(overrides)
-    if args:
-        for part in args.split(","):
-            key, _, value = part.partition("=")
-            key = key.strip()
-            value = value.strip()
-            try:
-                parsed = int(value)
-            except ValueError:
-                try:
-                    parsed = float(value)
-                except ValueError:
-                    parsed = {"true": True, "false": False}.get(value.lower(), value)
-            kwargs[key] = parsed
-    factory = SCHEME_FACTORIES[name]
-    # First positional parameter by convention (p / epsilon / k / rank).
-    positional = {"uniform": "p", "spectral": "p", "tr": "p", "triangle_reduction": "p",
-                  "spanner": "k", "summarization": "epsilon", "cut_sparsifier": "epsilon",
-                  "lowrank": "rank", "vertex_sampling": "p",
-                  "random_walk_sampling": "target_fraction"}.get(name)
-    if positional and positional in kwargs:
-        first = kwargs.pop(positional)
-        return factory(first, **kwargs)
-    return factory(**kwargs)
+    return build_scheme(spec, **overrides)
+
+
+class _FactoriesView(Mapping):
+    """Live alias->factory mapping, kept for back compatibility with the
+    historical ``SCHEME_FACTORIES`` dict (reflects late registrations)."""
+
+    def __getitem__(self, key: str) -> type:
+        canonical = resolve_name(key)
+        if canonical is None:
+            raise KeyError(key)
+        return _REGISTRY[canonical].factory
+
+    def __iter__(self):
+        _ensure_builtins()
+        return iter(sorted(_ALIASES))
+
+    def __len__(self) -> int:
+        _ensure_builtins()
+        return len(_ALIASES)
+
+    def __repr__(self) -> str:
+        _ensure_builtins()
+        return f"SCHEME_FACTORIES({sorted(_ALIASES)})"
+
+
+SCHEME_FACTORIES = _FactoriesView()

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import register_scheme
 from repro.core.kernels import VertexKernel
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
@@ -42,6 +43,12 @@ class VertexSamplingKernel(VertexKernel):
             sg.delete(v)
 
 
+@register_scheme(
+    "vertex_sampling",
+    positional="p",
+    summary="induced-subgraph sampling: keep each vertex w.p. p (§2 sampling class)",
+    example="vertex_sampling(p=0.7)",
+)
 class RandomVertexSampling(CompressionScheme):
     """Induced-subgraph sampling: keep each vertex w.p. ``p``.
 
@@ -50,8 +57,6 @@ class RandomVertexSampling(CompressionScheme):
     same p — the classic bias of vertex sampling the survey literature
     warns about.
     """
-
-    name = "vertex_sampling"
 
     def __init__(self, p: float, *, relabel: bool = False):
         self.p = check_probability(p, "p")
@@ -79,6 +84,12 @@ class RandomVertexSampling(CompressionScheme):
         return VertexSamplingKernel()
 
 
+@register_scheme(
+    "random_walk_sampling",
+    positional="target_fraction",
+    summary="random-walk-with-restart sampling; induced subgraph of visited vertices",
+    example="random_walk_sampling(target_fraction=0.5)",
+)
 class RandomWalkSampling(CompressionScheme):
     """Random-walk-with-restart sampling (Leskovec–Faloutsos "RW" family).
 
@@ -89,8 +100,6 @@ class RandomWalkSampling(CompressionScheme):
     independent vertex sampling, at the price of bias toward
     high-degree regions.
     """
-
-    name = "random_walk_sampling"
 
     def __init__(
         self,
@@ -111,6 +120,7 @@ class RandomWalkSampling(CompressionScheme):
             "target_fraction": self.target_fraction,
             "restart_p": self.restart_p,
             "max_steps_factor": self.max_steps_factor,
+            "relabel": self.relabel,
         }
 
     def compress(self, g: CSRGraph, *, seed=None) -> CompressionResult:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import register_scheme
 from repro.compress.mappings import LDDResult, beta_for_spanner, low_diameter_decomposition
 from repro.core.kernels import SubgraphKernel
 from repro.graphs.csr import CSRGraph
@@ -57,15 +58,20 @@ class DeriveSpannerKernel(SubgraphKernel):
                 seen.add(int(c))
 
 
+@register_scheme(
+    "spanner",
+    positional="k",
+    summary="LDD cluster trees + one crossing edge per cluster pair; O(k) stretch (§4.5.3)",
+    example="spanner(k=8)",
+)
 class Spanner(CompressionScheme):
     """O(k)-spanner: larger k → smaller (sparser) spanner, larger stretch."""
-
-    name = "spanner"
 
     def __init__(self, k: float, *, weighted: bool = False):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        self.k = float(k)
+        # Integer-valued k stays int through the spec round trip.
+        self.k = int(k) if isinstance(k, int) and not isinstance(k, bool) else float(k)
         # Grow LDD waves along edge weights: per-cluster trees become
         # weighted shortest-path trees, improving weighted SSSP stretch.
         self.weighted = weighted

@@ -1,0 +1,251 @@
+"""Declarative scheme specifications.
+
+A :class:`SchemeSpec` is the serializable description of a compression
+scheme configuration: a canonical scheme name plus a parameter mapping
+(and, for composed pipelines, an ordered tuple of stage specs).  It is the
+transport format of the public API — every string the benchmark harness,
+the examples, or a remote caller uses to name a scheme parses into a
+``SchemeSpec``, and every configured :class:`~repro.compress.base.
+CompressionScheme` can describe itself as one via ``scheme.spec()``.
+
+Three surface syntaxes round-trip losslessly through ``parse``/
+``to_string``:
+
+- the named form ``"spanner(k=8)"`` / ``"spectral(p=0.5, variant=avgdeg)"``;
+- the paper's Triangle-Reduction figure labels ``"0.5-1-TR"``,
+  ``"EO-0.8-1-TR"``, ``"CT-0.5-2-TR"`` (§4.3 / Fig. 6);
+- pipelines joined with ``|``: ``"low_degree(max_degree=1) | spanner(k=4)"``.
+
+Values are type-preserving: ``k=8`` stays ``int``, ``p=0.5`` stays
+``float``, ``reweight=false`` becomes ``bool``, ``rounds=none`` becomes
+``None``.  ``to_dict``/``from_dict`` give the equivalent JSON-safe form
+for storage and network transport.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["SchemeSpec"]
+
+# Paper-style TR labels: "0.5-1-TR", "EO-0.8-1-TR", "CT-0.5-2-TR".
+_TR_LABEL = re.compile(r"^(?:(EO|CT)-)?([0-9]*\.?[0-9]+)-([12])-TR$", re.IGNORECASE)
+_TR_VARIANT_BY_PREFIX = {None: "basic", "EO": "edge_once", "CT": "count_triangles"}
+_TR_PREFIX_BY_VARIANT = {v: k for k, v in _TR_VARIANT_BY_PREFIX.items()}
+
+_NAMED_FORM = re.compile(r"^([A-Za-z_]\w*)\s*(?:\((.*)\))?$", re.DOTALL)
+
+
+def _parse_value(text: str) -> Any:
+    """Inverse of :func:`_format_value`; type-preserving."""
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "none"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return str(value)
+
+
+def _split_pipeline(text: str) -> list[str]:
+    """Split on top-level ``|`` (pipes inside parentheses are preserved)."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "|" and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return [p.strip() for p in parts]
+
+
+def _freeze(value: Any):
+    """Recursively convert mappings/sequences into hashable tuples."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True, eq=False)
+class SchemeSpec:
+    """A scheme name + parameters (+ stages, for ``chain`` pipelines)."""
+
+    name: str
+    params: dict = field(default_factory=dict)
+    stages: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "stages", tuple(self.stages))
+        if self.stages and self.name != "chain":
+            raise ValueError("only 'chain' specs carry stages")
+
+    # -- identity ---------------------------------------------------------- #
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SchemeSpec):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.params == other.params
+            and self.stages == other.stages
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, _freeze(self.params), self.stages))
+
+    def __repr__(self) -> str:
+        return f"SchemeSpec({self.to_string()!r})"
+
+    # -- parsing ----------------------------------------------------------- #
+
+    @classmethod
+    def parse(cls, text: str) -> "SchemeSpec":
+        """Parse a spec string (named form, TR label, or ``|`` pipeline)."""
+        text = text.strip()
+        if not text:
+            raise ValueError("empty scheme spec")
+        parts = _split_pipeline(text)
+        if len(parts) > 1:
+            return cls("chain", {}, tuple(cls.parse(p) for p in parts))
+
+        tr = _TR_LABEL.match(text)
+        if tr:
+            prefix, p, x = tr.groups()
+            variant = _TR_VARIANT_BY_PREFIX[prefix.upper() if prefix else None]
+            return cls(
+                "triangle_reduction",
+                {"p": float(p), "x": int(x), "variant": variant},
+            )
+
+        m = _NAMED_FORM.match(text)
+        if not m:
+            raise ValueError(f"cannot parse scheme spec {text!r}")
+        name, args = m.groups()
+        name = _canonical_name(name)
+        params: dict[str, Any] = {}
+        if args and args.strip():
+            for i, part in enumerate(args.split(",")):
+                part = part.strip()
+                if not part:
+                    raise ValueError(f"empty parameter in scheme spec {text!r}")
+                key, sep, value = part.partition("=")
+                if not sep:
+                    # Bare positional value: resolvable only through the
+                    # registry's declared positional parameter.
+                    if i != 0:
+                        raise ValueError(
+                            f"positional value must come first in {text!r}"
+                        )
+                    key = _positional_name(name)
+                    if key is None:
+                        raise ValueError(
+                            f"scheme {name!r} takes no positional value "
+                            f"(in spec {text!r})"
+                        )
+                    value = part
+                else:
+                    key = key.strip()
+                    if not value.strip():
+                        raise ValueError(
+                            f"missing value for {key!r} in scheme spec {text!r}"
+                        )
+                params[key] = _parse_value(value.strip())
+        return cls(name, params)
+
+    # -- formatting -------------------------------------------------------- #
+
+    def to_string(self) -> str:
+        """The canonical spec string; ``parse(s).to_string()`` is stable."""
+        if self.stages:
+            return " | ".join(stage.to_string() for stage in self.stages)
+        label = self._tr_label()
+        if label is not None:
+            return label
+        if not self.params:
+            return self.name
+        inner = ", ".join(
+            f"{k}={_format_value(v)}" for k, v in self.params.items()
+        )
+        return f"{self.name}({inner})"
+
+    def _tr_label(self) -> str | None:
+        """Paper-style TR label, when this spec is expressible as one."""
+        if self.name != "triangle_reduction":
+            return None
+        if set(self.params) != {"p", "x", "variant"}:
+            return None
+        variant = self.params["variant"]
+        x = self.params["x"]
+        if variant not in _TR_PREFIX_BY_VARIANT or x not in (1, 2):
+            return None
+        prefix = _TR_PREFIX_BY_VARIANT[variant]
+        head = f"{prefix}-" if prefix else ""
+        return f"{head}{_format_value(self.params['p'])}-{x}-TR"
+
+    # -- JSON transport ---------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        if self.stages:
+            return {
+                "name": self.name,
+                "stages": [stage.to_dict() for stage in self.stages],
+            }
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SchemeSpec":
+        stages = tuple(cls.from_dict(s) for s in data.get("stages", ()))
+        return cls(data["name"], dict(data.get("params", {})), stages)
+
+    # -- construction ------------------------------------------------------ #
+
+    def build(self, **overrides):
+        """Instantiate the configured scheme through the registry."""
+        from repro.compress.registry import build_scheme
+
+        return build_scheme(self, **overrides)
+
+
+def _canonical_name(name: str) -> str:
+    """Resolve registry aliases; unknown names pass through lowercased
+    (validation happens at build time, not parse time)."""
+    from repro.compress.registry import resolve_name
+
+    return resolve_name(name) or name.lower()
+
+
+def _positional_name(name: str) -> str | None:
+    from repro.compress.registry import positional_param
+
+    return positional_param(name)

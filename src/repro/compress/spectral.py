@@ -25,6 +25,7 @@ import math
 import numpy as np
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import register_scheme
 from repro.core.kernels import EdgeKernel
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
@@ -62,10 +63,14 @@ class SpectralSparsifyKernel(EdgeKernel):
             sg.set_weight(e, e.weight / edge_stays)
 
 
+@register_scheme(
+    "spectral",
+    positional="p",
+    summary="degree-aware sampling + 1/p reweighting (spectral sparsifier, §4.2.1)",
+    example="spectral(p=0.5)",
+)
 class SpectralSparsifier(CompressionScheme):
     """Spectral sparsification with selectable Υ variant."""
-
-    name = "spectral"
 
     def __init__(self, p: float, *, variant: str = "logn", reweight: bool = True):
         self.p = check_probability(p, "p")
@@ -75,6 +80,10 @@ class SpectralSparsifier(CompressionScheme):
         self.reweight = reweight
 
     def params(self) -> dict:
+        return {"p": self.p, "variant": self.variant, "reweight": self.reweight}
+
+    def kernel_params(self) -> dict:
+        # The SG container keys the Υ selector as "spectral_variant" (§4.2.1).
         return {"p": self.p, "spectral_variant": self.variant, "reweight": self.reweight}
 
     def compress(self, g: CSRGraph, *, seed=None) -> CompressionResult:

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import register_scheme
 from repro.compress.mappings import jaccard_minhash_clustering
 from repro.core.kernels import SubgraphKernel
 from repro.graphs.csr import CSRGraph
@@ -173,6 +174,12 @@ class DeriveSummaryKernel(SubgraphKernel):
         sg.update_convergence(True)
 
 
+@register_scheme(
+    "summarization",
+    positional="epsilon",
+    summary="SWeG-style ε-summarization: supervertices + correction sets (§4.5.4)",
+    example="summarization(epsilon=0.3)",
+)
 class LossySummarization(CompressionScheme):
     """SWeG-style ε-summarization.
 
@@ -185,8 +192,6 @@ class LossySummarization(CompressionScheme):
     threshold, max_cluster_size, num_hashes:
         Forwarded to the Jaccard/minhash clustering (§4.5.2).
     """
-
-    name = "summarization"
 
     def __init__(
         self,

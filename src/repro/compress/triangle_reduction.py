@@ -43,6 +43,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import register_scheme
 from repro.core.kernels import TriangleKernel
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
@@ -170,10 +171,15 @@ class MaxWeightTRKernel(TriangleKernel):
 # --------------------------------------------------------------------- #
 
 
+@register_scheme(
+    "triangle_reduction",
+    positional="p",
+    aliases=("tr",),
+    summary="sample triangles w.p. p, remove x edges each; EO/CT/max-weight/collapse variants (§4.3)",
+    example="EO-0.8-1-TR",
+)
 class TriangleReduction(CompressionScheme):
     """Triangle p-x-Reduction and its variants."""
-
-    name = "triangle_reduction"
 
     def __init__(
         self,

@@ -10,6 +10,7 @@ paper uses for the first distributed compression of the largest graphs
 from __future__ import annotations
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import register_scheme
 from repro.core.kernels import EdgeKernel
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
@@ -29,10 +30,14 @@ class RandomUniformKernel(EdgeKernel):
             sg.delete(e)
 
 
+@register_scheme(
+    "uniform",
+    positional="p",
+    summary="keep each edge independently with probability p (§4.2.2)",
+    example="uniform(p=0.5)",
+)
 class RandomUniformSampling(CompressionScheme):
     """Keep each edge independently with probability ``p``."""
-
-    name = "uniform"
 
     def __init__(self, p: float):
         self.p = check_probability(p, "p")

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.registry import register_scheme
 from repro.core.kernels import VertexKernel
 from repro.graphs.csr import CSRGraph
 
@@ -28,14 +29,17 @@ class LowDegreeKernel(VertexKernel):
             sg.delete(v)
 
 
+@register_scheme(
+    "low_degree",
+    summary="remove degree ≤ max_degree vertices, optionally to a fixpoint (§4.4)",
+    example="low_degree(max_degree=1)",
+)
 class LowDegreeVertexRemoval(CompressionScheme):
     """Remove degree ≤ ``max_degree`` vertices, optionally to a fixpoint.
 
     ``rounds=1`` is the paper's kernel; ``rounds=None`` iterates until no
     low-degree vertex remains (pendant-tree peeling).
     """
-
-    name = "low_degree"
 
     def __init__(self, *, max_degree: int = 1, rounds: int | None = 1, relabel: bool = False):
         if max_degree < 0:
@@ -45,7 +49,7 @@ class LowDegreeVertexRemoval(CompressionScheme):
         self.relabel = relabel
 
     def params(self) -> dict:
-        return {"max_degree": self.max_degree, "rounds": self.rounds}
+        return {"max_degree": self.max_degree, "rounds": self.rounds, "relabel": self.relabel}
 
     def compress(self, g: CSRGraph, *, seed=None) -> CompressionResult:
         current = g

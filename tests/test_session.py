@@ -1,0 +1,170 @@
+"""Tests for the fluent evaluation session: baseline caching, scoring,
+sweeps, and the deprecated evaluate_scheme/sweep shims."""
+
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.analytics import Session
+from repro.analytics.evaluation import AlgorithmSpec, evaluate_scheme
+from repro.analytics.tradeoff import sweep
+from repro.compress.uniform import RandomUniformSampling
+
+
+class TestBaselineCache:
+    def test_baseline_reused_across_schemes(self, plc300):
+        session = Session(plc300, seed=0)
+        session.evaluate("uniform(p=0.5)")
+        first = session.baseline_computations
+        assert first > 0
+        session.evaluate("spanner(k=8)")
+        session.evaluate("EO-0.8-1-TR")
+        # Scoring two more schemes ran zero extra original-graph work.
+        assert session.baseline_computations == first
+
+    def test_counting_via_instrumented_algorithm(self, plc300):
+        calls = {"n": 0}
+
+        def counting(g):
+            calls["n"] += 1
+            return g.num_edges
+
+        specs = [AlgorithmSpec("edges", counting, "scalar")]
+        session = Session(plc300, seed=0)
+        session.evaluate("uniform(p=0.5)", specs)
+        session.evaluate("uniform(p=0.9)", specs)
+        # 1 baseline + 2 compressed runs; a session-less pair would do 4.
+        assert calls["n"] == 3
+
+    def test_records_match_shimless_path(self, plc300):
+        session = Session(plc300, seed=0)
+        records, compressed = session.evaluate(RandomUniformSampling(0.5), seed=0)
+        names = {r.algorithm for r in records}
+        assert names == {"bfs", "cc", "pr", "tc", "tc_per_vertex"}
+        assert compressed.num_edges < plc300.num_edges
+
+
+class TestFluentApi:
+    def test_compress_run_score(self, plc300):
+        scores = (
+            Session(plc300, seed=0)
+            .compress("spanner(k=8)")
+            .run(pagerank)
+            .score(["kl"])
+        )
+        assert scores["kl_divergence"] >= 0
+        assert scores["kl"] == scores["kl_divergence"]
+
+    def test_multiple_metrics_and_algorithms(self, plc300):
+        session = Session(plc300, seed=0)
+        run = session.compress("uniform(p=0.5)").run(pagerank).run("cc")
+        scores = run.score()
+        assert set(scores) == {"pagerank", "cc"}
+        assert "kl_divergence" in scores["pagerank"]
+        assert "relative_change" in scores["cc"]
+
+    def test_named_battery_algorithms(self, plc300):
+        scores = (
+            Session(plc300, seed=0)
+            .compress("uniform(p=0.5)")
+            .run("pr", "tc")
+            .score()
+        )
+        assert set(scores) == {"pr", "tc"}
+
+    def test_pipeline_spec_compresses(self, plc300):
+        run = Session(plc300, seed=0).compress("uniform(p=0.9) | spanner(k=4)")
+        assert [st.scheme for st in run.lineage] == ["uniform", "spanner"]
+        assert run.graph.num_edges < plc300.num_edges
+
+    def test_score_without_run_rejected(self, plc300):
+        with pytest.raises(ValueError):
+            Session(plc300).compress("uniform(p=0.5)").score(["kl"])
+
+    def test_unknown_metric_rejected(self, plc300):
+        run = Session(plc300, seed=0).compress("uniform(p=0.5)").run(pagerank)
+        with pytest.raises(ValueError):
+            run.score(["wasserstein"])
+
+    def test_bfs_run_only_scores_critical_edges(self, plc300):
+        run = Session(plc300, seed=0).compress("uniform(p=0.5)").run("bfs")
+        scores = run.score(["critical_edges"])
+        assert 0 <= scores["critical_edge_preservation"] <= 1.5
+        with pytest.raises(ValueError, match="critical_edges"):
+            run.score(["kl"])
+
+    def test_outputs_accessor_reuses_baseline(self, plc300):
+        run = Session(plc300, seed=0).compress("uniform(p=0.5)").run(pagerank)
+        out0, out1 = run.outputs("pagerank")
+        assert len(out0.ranks) == plc300.n
+        assert len(out1.ranks) == run.graph.n
+        with pytest.raises(ValueError):
+            run.outputs("never_ran")
+
+    def test_kernel_backend_selected_in_session(self, plc300):
+        session = Session(plc300, seed=0, backend="chunked", num_chunks=4)
+        run = session.compress("uniform(p=0.5)", via="kernels")
+        assert run.graph.num_edges < plc300.num_edges
+        with pytest.raises(ValueError):
+            session.compress("uniform(p=0.5)", via="gpu")
+
+
+class TestSessionSweep:
+    def test_spec_list_sweep(self, plc300):
+        session = Session(plc300, seed=0)
+        rows = session.sweep(
+            ["uniform(p=0.2)", "uniform(p=0.5)", "uniform(p=0.9)"],
+            algorithms=[AlgorithmSpec("cc", lambda g: 1, "scalar")],
+        )
+        ratios = {row.parameter: row.compression_ratio for row in rows}
+        assert ratios[0.2] < ratios[0.5] < ratios[0.9]
+        assert all(row.scheme_spec.startswith("uniform") for row in rows)
+
+    def test_duplicate_schemes_evaluated_once(self, plc300):
+        calls = {"n": 0}
+
+        def counting(g):
+            calls["n"] += 1
+            return 1
+
+        session = Session(plc300, seed=0)
+        rows = session.sweep(
+            ["uniform(p=0.5)", "uniform(p=0.5)"],
+            algorithms=[AlgorithmSpec("one", counting, "scalar")],
+        )
+        assert len(rows) == 2  # both rows reported...
+        assert calls["n"] == 2  # ...but 1 baseline + 1 compressed execution
+
+    def test_duplicate_schemes_keep_their_labels(self, plc300):
+        session = Session(plc300, seed=0)
+        rows = session.sweep(
+            ["uniform(p=0.5)", "uniform(0.5)"],
+            parameters=["a", "b"],
+            algorithms=[AlgorithmSpec("one", lambda g: 1, "scalar")],
+        )
+        assert [row.parameter for row in rows] == ["a", "b"]
+
+    def test_repeats_validation(self, plc300):
+        with pytest.raises(ValueError):
+            Session(plc300).sweep(["uniform(p=0.5)"], repeats=0)
+
+
+class TestDeprecatedShims:
+    def test_evaluate_scheme_warns_and_works(self, plc300):
+        with pytest.warns(DeprecationWarning):
+            records, compressed = evaluate_scheme(
+                plc300, RandomUniformSampling(0.5), seed=0
+            )
+        assert {r.algorithm for r in records} == {"bfs", "cc", "pr", "tc", "tc_per_vertex"}
+        assert compressed.num_edges < plc300.num_edges
+
+    def test_sweep_warns_and_works(self, plc300):
+        with pytest.warns(DeprecationWarning):
+            rows = sweep(
+                plc300,
+                lambda p: RandomUniformSampling(p),
+                [0.2, 0.9],
+                algorithms=[AlgorithmSpec("cc", lambda g: 1, "scalar")],
+                seed=0,
+            )
+        assert len(rows) == 2
+        assert {row.parameter for row in rows} == {0.2, 0.9}
