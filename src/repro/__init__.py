@@ -31,6 +31,16 @@ paper's TR labels (``"EO-0.8-1-TR"``), or ``|`` pipelines
 :class:`~repro.compress.spec.SchemeSpec` and built through the open
 registry (:func:`~repro.compress.registry.register_scheme`); the session
 caches each algorithm's original-graph run across every scheme it scores.
+
+The algorithm and metric axes are symmetric: algorithms parse from
+declarative :class:`~repro.algorithms.spec.AlgorithmSpec` strings
+(``"pagerank(iterations=50)"``, the paper aliases ``"pr"``/``"cc"``/
+``"tc"``/``"bfs"``) through their own open registry
+(:func:`~repro.algorithms.registry.register_algorithm`), each declaring a
+typed result adapter that selects compatible metrics from the metric
+registry (:func:`~repro.metrics.registry.register_metric`).
+``Session.grid(schemes, algorithms, metrics)`` sweeps the full cube into
+a tidy, CSV/JSON round-trippable :class:`~repro.analytics.grid.SweepTable`.
 """
 
 from repro.graphs import CSRGraph, GraphBuilder, generators, datasets
@@ -64,10 +74,15 @@ from repro.core import (
     SubgraphKernel,
 )
 from repro.algorithms import (
+    AlgorithmSpec,
+    BoundAlgorithm,
     bfs,
+    build_algorithm,
     connected_components,
     pagerank,
     count_triangles,
+    register_algorithm,
+    registered_algorithms,
     sssp,
     dijkstra,
     minimum_spanning_forest,
@@ -77,6 +92,8 @@ from repro.algorithms import (
 )
 from repro.metrics import (
     kl_divergence,
+    register_metric,
+    registered_metrics,
     reordered_pairs_fraction,
     reordered_neighbor_pairs,
     critical_edge_preservation,
@@ -85,6 +102,7 @@ from repro.analytics import (
     CompressedRun,
     ScoreReport,
     Session,
+    SweepTable,
     evaluate_scheme,
     sweep,
 )
@@ -140,6 +158,14 @@ __all__ = [
     "Session",
     "CompressedRun",
     "ScoreReport",
+    "SweepTable",
+    "AlgorithmSpec",
+    "BoundAlgorithm",
+    "register_algorithm",
+    "registered_algorithms",
+    "build_algorithm",
+    "register_metric",
+    "registered_metrics",
     "evaluate_scheme",
     "sweep",
     "theory",

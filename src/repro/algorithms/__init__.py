@@ -4,8 +4,26 @@ Every algorithm the paper's evaluation runs over compressed graphs: BFS,
 SSSP, PageRank, Connected Components, Triangle Counting, Betweenness
 Centrality, MST, matchings, coloring, independent sets, k-cores, path
 statistics, and graph spectra.
+
+Each module registers its headline entry point in the open algorithm
+registry (:mod:`repro.algorithms.registry`) under the paper's table names
+(``pr``, ``cc``, ``tc``, ``bfs``, ``sssp``, ``mst``, ``bc``, …), declaring
+a typed result adapter that routes the output to compatible §5 metrics.
+Declarative :class:`~repro.algorithms.spec.AlgorithmSpec` strings —
+``"pagerank(iterations=50)"`` — parse, round-trip, and build through the
+same machinery as compression-scheme specs.
 """
 
+from repro.algorithms.adapters import ResultAdapter, get_adapter, registered_adapters
+from repro.algorithms.registry import (
+    AlgorithmEntry,
+    BoundAlgorithm,
+    build_algorithm,
+    register_algorithm,
+    registered_algorithms,
+    unregister_algorithm,
+)
+from repro.algorithms.spec import AlgorithmSpec
 from repro.algorithms.bfs import BFSResult, bfs
 from repro.algorithms.components import ComponentsResult, connected_components, largest_component
 from repro.algorithms.pagerank import PageRankResult, pagerank
@@ -36,6 +54,16 @@ from repro.algorithms.spectrum import (
 from repro.algorithms.arboricity import ArboricityEstimate, estimate_arboricity
 
 __all__ = [
+    "AlgorithmSpec",
+    "AlgorithmEntry",
+    "BoundAlgorithm",
+    "ResultAdapter",
+    "register_algorithm",
+    "registered_algorithms",
+    "unregister_algorithm",
+    "build_algorithm",
+    "get_adapter",
+    "registered_adapters",
     "BFSResult",
     "bfs",
     "ComponentsResult",

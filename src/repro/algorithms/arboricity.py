@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.graphs.csr import CSRGraph
 from repro.algorithms.kcore import core_numbers
+from repro.algorithms.registry import register_algorithm
 
 __all__ = ["ArboricityEstimate", "estimate_arboricity", "densest_prefix_density"]
 
@@ -58,6 +59,14 @@ def densest_prefix_density(g: CSRGraph) -> float:
     return float(np.ceil(best))
 
 
+@register_algorithm(
+    "arboricity",
+    adapter="scalar",
+    aliases=("estimate_arboricity",),
+    extract=lambda res: res.midpoint,
+    summary="arboricity bracket midpoint (greedy-peel lower, degeneracy upper)",
+    example="arboricity",
+)
 def estimate_arboricity(g: CSRGraph) -> ArboricityEstimate:
     """Bracket the arboricity: greedy-peel lower bound, degeneracy upper."""
     lower = densest_prefix_density(g)

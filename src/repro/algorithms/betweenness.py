@@ -12,12 +12,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
 
 __all__ = ["betweenness_centrality"]
 
 
+@register_algorithm(
+    "betweenness",
+    adapter="ordering",
+    aliases=("bc", "betweenness_centrality"),
+    summary="Brandes betweenness centrality (exact or source-sampled)",
+    example="betweenness(num_sources=32, seed=0)",
+)
 def betweenness_centrality(
     g: CSRGraph,
     *,

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["BFSResult", "bfs", "gather_frontier_arcs", "validate_bfs_tree"]
@@ -65,6 +66,13 @@ def gather_frontier_arcs(g: CSRGraph, frontier: np.ndarray):
     return tails, heads
 
 
+@register_algorithm(
+    "bfs",
+    adapter="traversal",
+    positional="source",
+    summary="Graph500-style BFS; accuracy is critical-edge preservation (§5)",
+    example="bfs(source=0)",
+)
 def bfs(g: CSRGraph, source: int) -> BFSResult:
     """BFS from ``source`` over out-edges (undirected graphs use all edges)."""
     if not 0 <= source < g.n:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.graphs.csr import CSRGraph
 from repro.algorithms.kcore import core_numbers
+from repro.algorithms.registry import register_algorithm
 from repro.utils.rng import as_generator
 
 __all__ = ["ColoringResult", "greedy_coloring", "coloring_number"]
@@ -29,6 +30,14 @@ class ColoringResult:
         return bool(np.all(self.colors[g.edge_src] != self.colors[g.edge_dst]))
 
 
+@register_algorithm(
+    "coloring",
+    adapter="scalar",
+    aliases=("greedy_coloring",),
+    extract=lambda res: res.num_colors,
+    summary="first-fit greedy coloring; output is the color count",
+    example="coloring(order=degeneracy)",
+)
 def greedy_coloring(g: CSRGraph, order=None, *, seed=None) -> ColoringResult:
     """First-fit coloring in the given vertex order.
 
@@ -68,6 +77,12 @@ def greedy_coloring(g: CSRGraph, order=None, *, seed=None) -> ColoringResult:
     return ColoringResult(colors=colors, num_colors=int(colors.max()) + 1 if n else 0)
 
 
+@register_algorithm(
+    "coloring_number",
+    adapter="scalar",
+    summary="the coloring number C_G = degeneracy + 1 (§6.1's bound target)",
+    example="coloring_number",
+)
 def coloring_number(g: CSRGraph) -> int:
     """The coloring number C_G (best greedy over orderings) = degeneracy + 1.
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["ComponentsResult", "connected_components", "largest_component"]
@@ -34,6 +35,14 @@ class ComponentsResult:
         return int(self.labels[v])
 
 
+@register_algorithm(
+    "connected_components",
+    adapter="scalar",
+    aliases=("cc",),
+    extract=lambda res: res.num_components,
+    summary="number of weakly connected components (Shiloach–Vishkin style)",
+    example="cc",
+)
 def connected_components(g: CSRGraph) -> ComponentsResult:
     """Weakly connected components (edge direction ignored)."""
     n = g.n

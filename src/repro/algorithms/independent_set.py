@@ -11,12 +11,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
 
 __all__ = ["greedy_mis", "luby_mis"]
 
 
+@register_algorithm(
+    "mis",
+    adapter="vertex_set",
+    aliases=("greedy_mis", "independent_set"),
+    summary="min-degree greedy maximal independent set (Table 3's ÎS proxy)",
+    example="mis",
+)
 def greedy_mis(g: CSRGraph) -> np.ndarray:
     """Min-degree greedy maximal independent set; returns vertex ids.
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["CoreResult", "core_numbers", "degeneracy_ordering"]
@@ -27,6 +28,21 @@ class CoreResult:
         return int(self.core.max()) if len(self.core) else 0
 
 
+@register_algorithm(
+    "kcore",
+    adapter="ordering",
+    aliases=("core_numbers",),
+    extract=lambda res: res.core,
+    summary="k-core decomposition; per-vertex core numbers",
+    example="kcore",
+)
+@register_algorithm(
+    "degeneracy",
+    adapter="scalar",
+    extract=lambda res: res.degeneracy,
+    summary="graph degeneracy (max core number; arboricity upper bound)",
+    example="degeneracy",
+)
 def core_numbers(g: CSRGraph) -> CoreResult:
     """Peel vertices in nondecreasing residual degree; O(n + m)."""
     if g.directed:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
 
@@ -34,6 +35,14 @@ class MatchingResult:
         return len(self.edge_ids)
 
 
+@register_algorithm(
+    "matching",
+    adapter="scalar",
+    aliases=("greedy_matching",),
+    extract=lambda res: res.size,
+    summary="maximal-matching size (≥ 1/2 of maximum; §6.1's M̂C)",
+    example="matching(order=id)",
+)
 def greedy_matching(g: CSRGraph, *, order: str = "id", seed=None) -> MatchingResult:
     """Maximal matching scanning edges in the given order.
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["MSTResult", "kruskal", "boruvka", "minimum_spanning_forest", "UnionFind"]
@@ -139,6 +140,14 @@ def boruvka(g: CSRGraph) -> MSTResult:
     )
 
 
+@register_algorithm(
+    "mst",
+    adapter="scalar",
+    aliases=("minimum_spanning_forest",),
+    extract=lambda res: res.total_weight,
+    summary="minimum-spanning-forest weight (Kruskal / Borůvka)",
+    example="mst(method=kruskal)",
+)
 def minimum_spanning_forest(g: CSRGraph, *, method: str = "kruskal") -> MSTResult:
     if method == "kruskal":
         return kruskal(g)

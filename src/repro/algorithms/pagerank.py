@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["PageRankResult", "pagerank"]
@@ -33,6 +34,15 @@ class PageRankResult:
         return order[:k]
 
 
+@register_algorithm(
+    "pagerank",
+    adapter="distribution",
+    aliases=("pr",),
+    extract=lambda res: res.ranks,
+    param_aliases={"iterations": "max_iterations"},
+    summary="power-iteration PageRank; ranks form a probability distribution",
+    example="pagerank(iterations=50)",
+)
 def pagerank(
     g: CSRGraph,
     *,

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.graphs.csr import CSRGraph
 from repro.algorithms.bfs import bfs
+from repro.algorithms.registry import register_algorithm
 from repro.algorithms.sssp import dijkstra
 from repro.utils.rng import as_generator
 
@@ -50,6 +51,14 @@ def pairwise_distance(g: CSRGraph, u: int, v: int) -> float:
     return float(lvl) if lvl >= 0 else float("inf")
 
 
+@register_algorithm(
+    "path_stats",
+    adapter="scalar",
+    aliases=("path_length_stats", "apl"),
+    extract=lambda res: res.average_length,
+    summary="average path length from sampled BFS/SSSP roots (Table 3's P̄)",
+    example="path_stats(num_sources=32, seed=0)",
+)
 def path_length_stats(
     g: CSRGraph,
     *,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
 
@@ -35,6 +36,17 @@ def laplacian(g: CSRGraph):
     return diags(deg) - adj
 
 
+@register_algorithm(
+    "spectrum",
+    adapter="distribution",
+    aliases=("laplacian_spectrum",),
+    positional="k",
+    # Clip the numerically-tiny negative eigenvalues eigvalsh can emit so
+    # the values normalize cleanly as a distribution.
+    extract=lambda vals: np.maximum(vals, 0.0),
+    summary="ascending Laplacian eigenvalues; fix k for vertex-changing schemes",
+    example="spectrum(k=16)",
+)
 def laplacian_eigenvalues(g: CSRGraph, k: int | None = None) -> np.ndarray:
     """Ascending Laplacian eigenvalues.
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.graphs.csr import CSRGraph
 from repro.algorithms.bfs import gather_frontier_arcs
+from repro.algorithms.registry import register_algorithm
 
 __all__ = ["SSSPResult", "dijkstra", "delta_stepping", "sssp"]
 
@@ -145,6 +146,14 @@ def delta_stepping(g: CSRGraph, source: int, *, delta: float | None = None) -> S
     return SSSPResult(source=source, distance=dist, parent=parent)
 
 
+@register_algorithm(
+    "sssp",
+    adapter="ordering",
+    positional="source",
+    extract=lambda res: res.distance,
+    summary="single-source shortest paths (Δ-stepping / Dijkstra); distance vector",
+    example="sssp(delta=2.0, source=0)",
+)
 def sssp(g: CSRGraph, source: int, *, method: str = "auto", delta: float | None = None) -> SSSPResult:
     """Dispatch: ``"dijkstra"``, ``"delta"``, or ``"auto"`` (delta-stepping
     for weighted graphs, plain BFS-equivalent delta for unweighted)."""

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability
@@ -147,6 +148,13 @@ def list_triangles(g: CSRGraph) -> TriangleList:
     return TriangleList(vertices=tri, edge_ids=eids)
 
 
+@register_algorithm(
+    "count_triangles",
+    adapter="scalar",
+    aliases=("tc",),
+    summary="exact global triangle count (forward wedge join, O(m^{3/2}))",
+    example="tc",
+)
 def count_triangles(g: CSRGraph) -> int:
     """Exact triangle count; the same wedge join, count-only."""
     if g.directed:
@@ -154,6 +162,13 @@ def count_triangles(g: CSRGraph) -> int:
     return sum(len(b[0]) for b in _iter_wedge_blocks(g))
 
 
+@register_algorithm(
+    "triangles_per_vertex",
+    adapter="ordering",
+    aliases=("tc_per_vertex", "tpv"),
+    summary="triangles through each vertex (Table 6's quantity / n)",
+    example="tc_per_vertex",
+)
 def triangles_per_vertex(g: CSRGraph) -> np.ndarray:
     """Number of triangles through each vertex (Table 6's quantity / n)."""
     tl = list_triangles(g)

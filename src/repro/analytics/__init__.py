@@ -6,6 +6,7 @@ from repro.analytics.evaluation import (
     evaluate_scheme,
     default_algorithms,
 )
+from repro.analytics.grid import GridCell, SweepTable
 from repro.analytics.session import CompressedRun, ScoreReport, Session, SweepRow
 from repro.analytics.tradeoff import sweep
 from repro.analytics.report import format_table, write_csv
@@ -16,6 +17,8 @@ __all__ = [
     "Session",
     "CompressedRun",
     "ScoreReport",
+    "GridCell",
+    "SweepTable",
     "Recommendation",
     "recommend",
     "PRESERVABLE_PROPERTIES",

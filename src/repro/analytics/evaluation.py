@@ -22,8 +22,6 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["AlgorithmSpec", "EvaluationRecord", "evaluate_scheme", "default_algorithms"]
@@ -33,9 +31,19 @@ __all__ = ["AlgorithmSpec", "EvaluationRecord", "evaluate_scheme", "default_algo
 class AlgorithmSpec:
     """An algorithm plus the metric class its output belongs to.
 
-    ``kind`` ∈ {"scalar", "distribution", "vector", "bfs"} decides the
-    accuracy metric; ``fn`` maps a graph to the output (for "bfs" the
-    output is ignored — the metric runs its own traversals).
+    ``kind`` ∈ {"scalar", "distribution", "vector", "bfs"} (plus the
+    newer adapter names ``"ordering"`` / ``"vertex_set"`` /
+    ``"traversal"``) decides the accuracy metric; ``fn`` maps a graph to
+    the output (for "bfs" the output is ignored — the metric runs its own
+    traversals).
+
+    .. deprecated::
+        This is the legacy *executable* triple, kept for hand-rolled
+        battery entries.  Algorithms are now described declaratively by
+        :class:`repro.algorithms.spec.AlgorithmSpec` (a name + parameters
+        that parse/format/JSON round-trip) and registered with
+        :func:`repro.algorithms.registry.register_algorithm`, which also
+        declares the typed result adapter replacing ``kind``.
     """
 
     name: str
@@ -61,23 +69,28 @@ class EvaluationRecord:
 
 
 def default_algorithms(*, bfs_root: int = 0, pr_iterations: int = 100) -> list[AlgorithmSpec]:
-    """The Fig. 5 battery: BFS, CC, PR, TC (+ per-vertex TC vector)."""
-    from repro.algorithms.components import connected_components
-    from repro.algorithms.pagerank import pagerank
-    from repro.algorithms.triangles import count_triangles, triangles_per_vertex
+    """The Fig. 5 battery: BFS, CC, PR, TC (+ per-vertex TC vector).
 
+    .. deprecated::
+        The algorithm registry is now the source of truth; this shim
+        builds its entries through
+        :func:`repro.algorithms.registry.build_algorithm` and merely
+        wraps them in legacy executable specs under the paper's short
+        names.  Prefer naming registered algorithms directly
+        (``Session.grid([...], ["pr", "cc", "tc"])``).
+    """
+    from repro.algorithms.registry import build_algorithm
+
+    cc = build_algorithm("cc")
+    pr = build_algorithm("pr", max_iterations=pr_iterations)
+    tc = build_algorithm("tc")
+    tpv = build_algorithm("tc_per_vertex")
     return [
         AlgorithmSpec("bfs", lambda g: bfs_root, "bfs"),
-        AlgorithmSpec(
-            "cc", lambda g: connected_components(g).num_components, "scalar"
-        ),
-        AlgorithmSpec(
-            "pr",
-            lambda g: pagerank(g, max_iterations=pr_iterations).ranks,
-            "distribution",
-        ),
-        AlgorithmSpec("tc", lambda g: count_triangles(g), "scalar"),
-        AlgorithmSpec("tc_per_vertex", triangles_per_vertex, "vector"),
+        AlgorithmSpec("cc", cc.compute, "scalar"),
+        AlgorithmSpec("pr", pr.compute, "distribution"),
+        AlgorithmSpec("tc", tc.compute, "scalar"),
+        AlgorithmSpec("tc_per_vertex", tpv.compute, "vector"),
     ]
 
 
@@ -109,15 +122,3 @@ def evaluate_scheme(
 
     session = Session(g, seed=seed, bfs_root=bfs_root)
     return session.evaluate(scheme, algorithms, seed=seed)
-
-
-def _pad(x: np.ndarray, n: int) -> np.ndarray:
-    """Pad per-vertex vectors with zeros when compression dropped vertices
-    (triangle collapse); keeps positional comparability."""
-    if len(x) == n:
-        return x
-    if len(x) > n:
-        raise ValueError("compressed output longer than original")
-    out = np.zeros(n, dtype=x.dtype)
-    out[: len(x)] = x
-    return out

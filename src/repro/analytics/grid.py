@@ -1,0 +1,183 @@
+"""Tidy long-format results of scheme × algorithm × metric grid sweeps.
+
+:meth:`repro.analytics.session.Session.grid` evaluates every registered
+algorithm on every scheme and scores each output with every selected
+metric; the result is a :class:`SweepTable` — one :class:`GridCell` row
+per (scheme, algorithm, metric) triple, in the tidy long format that
+feeds plotting and downstream aggregation directly.
+
+The table is a value: it round-trips losslessly through ``to_dict`` /
+``from_dict`` (JSON transport) and ``to_csv`` / ``from_csv`` (files),
+renders as the paper-style fixed-width table via ``to_table``, and
+supports simple relational slicing with ``filter`` and ``pivot``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["GridCell", "SweepTable"]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One cell of a grid sweep: a scored (scheme, algorithm, metric)."""
+
+    scheme: str
+    algorithm: str
+    metric: str
+    value: float
+    compression_ratio: float
+    original_seconds: float = 0.0
+    compressed_seconds: float = 0.0
+    adapter: str = ""
+
+    @property
+    def relative_runtime_difference(self) -> float:
+        t0 = self.original_seconds
+        return (t0 - self.compressed_seconds) / t0 if t0 > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GridCell":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+_FLOAT_FIELDS = (
+    "value",
+    "compression_ratio",
+    "original_seconds",
+    "compressed_seconds",
+)
+
+
+class SweepTable:
+    """An immutable sequence of :class:`GridCell` rows with table views."""
+
+    headers = tuple(f.name for f in fields(GridCell))
+
+    def __init__(self, rows: Iterable[GridCell]):
+        self.rows: tuple[GridCell, ...] = tuple(rows)
+
+    # -- sequence protocol -------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[GridCell]:
+        return iter(self.rows)
+
+    def __getitem__(self, index):
+        picked = self.rows[index]
+        return SweepTable(picked) if isinstance(index, slice) else picked
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SweepTable):
+            return NotImplemented
+        return self.rows == other.rows
+
+    def __repr__(self) -> str:
+        axes = (
+            f"{len(self.schemes())} schemes x {len(self.algorithms())} "
+            f"algorithms x {len(self.metrics())} metrics"
+        )
+        return f"SweepTable({len(self.rows)} rows: {axes})"
+
+    # -- axes --------------------------------------------------------------- #
+
+    def schemes(self) -> list[str]:
+        return _unique(c.scheme for c in self.rows)
+
+    def algorithms(self) -> list[str]:
+        return _unique(c.algorithm for c in self.rows)
+
+    def metrics(self) -> list[str]:
+        return _unique(c.metric for c in self.rows)
+
+    # -- slicing ------------------------------------------------------------ #
+
+    def filter(self, *, scheme=None, algorithm=None, metric=None) -> "SweepTable":
+        """Rows matching every given axis value (exact string match)."""
+        return SweepTable(
+            c
+            for c in self.rows
+            if (scheme is None or c.scheme == scheme)
+            and (algorithm is None or c.algorithm == algorithm)
+            and (metric is None or c.metric == metric)
+        )
+
+    def pivot(self) -> dict[tuple[str, str, str], float]:
+        """``{(scheme, algorithm, metric): value}`` for direct lookups."""
+        return {(c.scheme, c.algorithm, c.metric): c.value for c in self.rows}
+
+    # -- transport ---------------------------------------------------------- #
+
+    def to_dict(self) -> list[dict]:
+        """JSON-safe list of row dicts; inverse of :meth:`from_dict`."""
+        return [c.to_dict() for c in self.rows]
+
+    @classmethod
+    def from_dict(cls, rows: Iterable[Mapping]) -> "SweepTable":
+        return cls(GridCell.from_dict(r) for r in rows)
+
+    def to_csv(self, path=None) -> str:
+        """CSV text (also written to ``path`` when given); inverse of
+        :meth:`from_csv`."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        for cell in self.rows:
+            d = cell.to_dict()
+            writer.writerow([d[h] for h in self.headers])
+        text = buf.getvalue()
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        return text
+
+    @classmethod
+    def from_csv(cls, source) -> "SweepTable":
+        """Parse a table back from CSV text or a file path.
+
+        Anything without a newline is treated as a path (CSV text always
+        has a header line ending in one), so a missing file raises
+        instead of parsing the path string as an empty table.
+        """
+        text = str(source)
+        if "\n" not in text:
+            text = Path(text).read_text()
+        reader = csv.DictReader(io.StringIO(text))
+        rows = []
+        for record in reader:
+            for key in _FLOAT_FIELDS:
+                if key in record and record[key] != "":
+                    record[key] = float(record[key])
+            rows.append(GridCell.from_dict(record))
+        return cls(rows)
+
+    # -- rendering ---------------------------------------------------------- #
+
+    def to_table(self, *, title: str | None = None) -> str:
+        """Paper-style fixed-width rendering (via the report module)."""
+        from repro.analytics.report import format_table
+
+        return format_table(
+            [[getattr(c, h) for h in self.headers] for c in self.rows],
+            list(self.headers),
+            title=title,
+        )
+
+
+def _unique(items) -> list[str]:
+    seen: dict[str, None] = {}
+    for item in items:
+        seen.setdefault(item)
+    return list(seen)

@@ -16,12 +16,25 @@ matter how many schemes are scored against it::
         .score(["kl"])
     )
     records, compressed = session.evaluate("EO-0.8-1-TR")   # battery reuses baselines
-    rows = session.sweep(["uniform(p=0.2)", "uniform(p=0.5)", "uniform(p=0.9)"])
+    table = session.grid(
+        ["uniform(p=0.5)", "spanner(k=8)", "EO-0.8-1-TR"],
+        ["pr", "cc", "tc", "sssp"],
+    )
 
-``Session.compress`` accepts anything the registry can build — spec
-strings (including TR labels and ``|`` pipelines), :class:`SchemeSpec`
-objects, or configured schemes — and returns a :class:`CompressedRun`
-whose ``run``/``score``/``evaluate`` methods chain fluently.
+All three axes are declarative and registry-driven: ``compress`` accepts
+anything the scheme registry can build (spec strings, TR labels, ``|``
+pipelines, :class:`~repro.compress.spec.SchemeSpec` objects, configured
+schemes); ``run``/``grid`` accept algorithm registry names and
+:class:`~repro.algorithms.spec.AlgorithmSpec` strings
+(``"pagerank(iterations=50)"``); metric names resolve through the metric
+registry (:mod:`repro.metrics.registry`), with each algorithm's **result
+adapter** selecting the compatible set and the §5 default.
+
+When a scheme changes the vertex set (triangle collapse, relabeled
+sampling), per-vertex outputs are aligned through the compression's
+vertex mapping (:func:`repro.compress.mappings.vertex_alignment`) before
+scoring, so KL / reordered-pair numbers compare each original vertex with
+the compressed vertex that carries it instead of zero-padding the tail.
 
 The legacy free functions (:func:`repro.analytics.evaluation.
 evaluate_scheme`, :func:`repro.analytics.tradeoff.sweep`) are deprecated
@@ -32,25 +45,29 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
-import numpy as np
-
+from repro.algorithms.adapters import get_adapter
+from repro.algorithms.registry import BoundAlgorithm, build_algorithm
+from repro.algorithms.spec import AlgorithmSpec as DeclarativeAlgorithmSpec
 from repro.analytics.evaluation import (
     AlgorithmSpec,
     EvaluationRecord,
-    _pad,
     default_algorithms,
 )
+from repro.analytics.grid import GridCell, SweepTable
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.mappings import vertex_alignment
 from repro.compress.registry import build_scheme, get_entry
 from repro.graphs.csr import CSRGraph
-from repro.metrics.bfs_quality import critical_edge_preservation
-from repro.metrics.divergences import kl_divergence
-from repro.metrics.ordering import reordered_neighbor_pairs
-from repro.metrics.scalars import relative_change
+from repro.metrics.registry import (
+    MetricContext,
+    MetricEntry,
+    compatible_names,
+    resolve_metric,
+)
 
-__all__ = ["Session", "CompressedRun", "ScoreReport", "SweepRow"]
+__all__ = ["Session", "CompressedRun", "ScoreReport", "SweepRow", "SweepTable"]
 
 _UNSET = object()
 
@@ -68,78 +85,71 @@ def _spec_label(scheme) -> str:
     return repr(scheme)
 
 
-def _as_distribution(value) -> np.ndarray:
-    """Coerce an algorithm output to a 1-D float array (``.ranks`` aware)."""
-    if hasattr(value, "ranks"):
-        value = value.ranks
-    return np.asarray(value, dtype=float)
+class _Runner:
+    """Uniform execution wrapper over the two algorithm surfaces.
 
+    Normalizes a legacy executable :class:`AlgorithmSpec` (name, fn, kind)
+    or a registry-bound :class:`BoundAlgorithm` into the one shape the
+    session needs: a cache key, display labels, a callable, a result
+    adapter, and the output canonicalizer.
+    """
 
-# Canonical metric name -> implementation.  Each takes the session graph
-# pair plus the algorithm outputs on (original, compressed).
-def _metric_kl(session, run, out0, out1) -> float:
-    a = _as_distribution(out0)
-    b = _pad(_as_distribution(out1), len(a))
-    return float(kl_divergence(a, b))
+    __slots__ = ("key", "name", "label", "fn", "adapter", "extract", "execute", "root")
 
+    def __init__(self, key, name, label, fn, adapter, extract, execute=True, root=None):
+        self.key = key
+        self.name = name
+        self.label = label
+        self.fn = fn
+        self.adapter = adapter
+        self.extract = extract
+        self.execute = execute
+        #: Traversal root override (``bfs(source=N)``); None = session root.
+        self.root = root
 
-def _metric_reordered_pairs(session, run, out0, out1) -> float:
-    a = np.asarray(_as_distribution(out0), dtype=float)
-    b = _pad(np.asarray(_as_distribution(out1), dtype=float), len(a))
-    return float(reordered_neighbor_pairs(session.graph, a, b))
-
-
-def _metric_relative_change(session, run, out0, out1) -> float:
-    return float(relative_change(float(out0), float(out1)))
-
-
-def _metric_critical_edges(session, run, out0, out1) -> float:
-    return float(
-        critical_edge_preservation(session.graph, run.graph, session.bfs_root)
-    )
-
-
-_METRICS: dict[str, Callable] = {
-    "kl_divergence": _metric_kl,
-    "reordered_neighbor_pairs": _metric_reordered_pairs,
-    "relative_change": _metric_relative_change,
-    "critical_edge_preservation": _metric_critical_edges,
-}
-
-_METRIC_ALIASES = {
-    "kl": "kl_divergence",
-    "kl_divergence": "kl_divergence",
-    "reordered_pairs": "reordered_neighbor_pairs",
-    "reordered_neighbor_pairs": "reordered_neighbor_pairs",
-    "relative_change": "relative_change",
-    "rel_change": "relative_change",
-    "critical_edges": "critical_edge_preservation",
-    "critical_edge_preservation": "critical_edge_preservation",
-}
-
-# kind -> default metric, mirroring the §5 routing of evaluate_scheme.
-_DEFAULT_METRIC_BY_KIND = {
-    "scalar": "relative_change",
-    "distribution": "kl_divergence",
-    "vector": "reordered_neighbor_pairs",
-    "bfs": "critical_edge_preservation",
-}
-
-
-def _resolve_metric(name: str) -> tuple[str, Callable]:
-    key = _METRIC_ALIASES.get(name.lower())
-    if key is None:
-        raise ValueError(
-            f"unknown metric {name!r}; known: {sorted(set(_METRIC_ALIASES))}"
+    @classmethod
+    def of_legacy(cls, spec: AlgorithmSpec) -> "_Runner":
+        try:
+            adapter = get_adapter(spec.kind)
+        except ValueError:
+            raise ValueError(f"unknown algorithm kind {spec.kind!r}") from None
+        return cls(
+            key=(spec.name, spec.kind),
+            name=spec.name,
+            label=spec.name,
+            fn=spec.fn,
+            adapter=adapter,
+            extract=adapter.canonicalize,
+            # The legacy "bfs" battery entry carries no real computation —
+            # its metric runs its own paired traversals at score time.
+            execute=spec.kind != "bfs",
         )
-    return key, _METRICS[key]
+
+    @classmethod
+    def of_bound(cls, bound: BoundAlgorithm) -> "_Runner":
+        traversal = bound.adapter.name == "traversal"
+        return cls(
+            key=bound.spec,
+            name=bound.spec.name,
+            label=bound.spec.to_string(),
+            fn=bound,
+            adapter=bound.adapter,
+            extract=bound.extract,
+            # Traversal outputs are never read — the metric runs its own
+            # paired traversals — so skip the redundant executions (and
+            # the baseline cache entry) exactly as the legacy path does.
+            execute=not traversal,
+            root=bound.spec.params.get("source") if traversal else None,
+        )
 
 
 class ScoreReport(Mapping):
     """Scores as ``{algorithm: {metric: value}}`` with a flat shortcut.
 
     When exactly one algorithm was scored, ``report["kl_divergence"]``
-    resolves directly; with several, index by algorithm first.
+    resolves directly; with several, index by algorithm first.  Metric
+    aliases (``"kl"``, ``"critical_edges"``) resolve through the metric
+    registry.
     """
 
     def __init__(self, scores: dict[str, dict[str, float]]):
@@ -148,7 +158,15 @@ class ScoreReport(Mapping):
     def __getitem__(self, key: str):
         if key in self._scores:
             return self._scores[key]
-        key = _METRIC_ALIASES.get(key, key)
+        # Runs are keyed by full spec label ("sssp(source=0)"); a bare
+        # algorithm name resolves when it is unambiguous.
+        matches = [k for k in self._scores if k.split("(", 1)[0] == key]
+        if len(matches) == 1:
+            return self._scores[matches[0]]
+        try:
+            key = resolve_metric(key).name
+        except ValueError:
+            pass
         if len(self._scores) == 1:
             return next(iter(self._scores.values()))[key]
         raise KeyError(key)
@@ -166,10 +184,10 @@ class ScoreReport(Mapping):
 class _AlgorithmRun:
     """One algorithm executed on (original, compressed)."""
 
-    __slots__ = ("spec", "out0", "t0", "out1", "t1")
+    __slots__ = ("runner", "out0", "t0", "out1", "t1")
 
-    def __init__(self, spec, out0, t0, out1, t1):
-        self.spec = spec
+    def __init__(self, runner, out0, t0, out1, t1):
+        self.runner = runner
         self.out0 = out0
         self.t0 = t0
         self.out1 = out1
@@ -184,6 +202,7 @@ class CompressedRun:
         self.scheme = scheme
         self.result = result
         self._runs: dict[str, _AlgorithmRun] = {}
+        self._mapping = _UNSET
 
     # -- views ------------------------------------------------------------- #
 
@@ -202,45 +221,54 @@ class CompressedRun:
     def __repr__(self) -> str:
         return f"CompressedRun({_spec_label(self.scheme)!r}, ratio={self.compression_ratio:.3f})"
 
-    # -- running algorithms ------------------------------------------------ #
+    def alignment(self):
+        """Original→compressed vertex map (None = identity), cached."""
+        if self._mapping is _UNSET:
+            self._mapping = vertex_alignment(self.result)
+        return self._mapping
 
-    def _as_algorithm_spec(self, algorithm, kind, name) -> AlgorithmSpec:
-        if isinstance(algorithm, AlgorithmSpec):
-            return algorithm
-        if isinstance(algorithm, str):
-            battery = {s.name: s for s in self.session.default_battery()}
-            if algorithm not in battery:
-                raise ValueError(
-                    f"unknown algorithm {algorithm!r}; known: {sorted(battery)}"
-                )
-            return battery[algorithm]
-        if callable(algorithm):
-            return AlgorithmSpec(
-                name or getattr(algorithm, "__name__", "algorithm"),
-                algorithm,
-                kind or "distribution",
-            )
-        raise TypeError(f"cannot interpret algorithm {algorithm!r}")
+    def _context(self) -> MetricContext:
+        return MetricContext(
+            original=self.session.graph,
+            compressed=self.graph,
+            bfs_root=self.session.bfs_root,
+        )
+
+    def _metric_value(self, entry: MetricEntry, run: _AlgorithmRun, ctx: MetricContext) -> float:
+        adapter = run.runner.adapter
+        if adapter.name == "traversal":
+            if run.runner.root is not None and run.runner.root != ctx.bfs_root:
+                ctx = MetricContext(ctx.original, ctx.compressed, run.runner.root)
+            return float(entry.fn(ctx, None, None))
+        a = run.runner.extract(run.out0)
+        b = run.runner.extract(run.out1)
+        a, b = adapter.align(a, b, self.alignment())
+        return float(entry.fn(ctx, a, b))
+
+    # -- running algorithms ------------------------------------------------ #
 
     def run(self, algorithm, *more, kind: str | None = None, name: str | None = None) -> "CompressedRun":
         """Execute ``algorithm`` on the compressed graph (and, via the
         session's baseline cache, on the original).  Returns ``self``.
 
-        ``algorithm`` may be a callable (``pagerank``), a battery name
-        (``"pr"``, ``"cc"``, ``"tc"``, ``"tc_per_vertex"``, ``"bfs"``), or
-        an :class:`AlgorithmSpec`; extra positional algorithms queue in
-        one call: ``.run(pagerank, "cc")``.
+        ``algorithm`` may be a callable (``pagerank``), a registry name or
+        spec string (``"pr"``, ``"pagerank(iterations=50)"``,
+        ``"sssp(source=0)"``), an :class:`~repro.algorithms.spec.
+        AlgorithmSpec`, a :class:`~repro.algorithms.registry.
+        BoundAlgorithm`, or a legacy executable :class:`AlgorithmSpec`;
+        extra positional algorithms queue in one call:
+        ``.run(pagerank, "cc")``.
         """
         for alg in (algorithm, *more):
-            spec = self._as_algorithm_spec(alg, kind, name)
-            if spec.kind == "bfs":
-                # The BFS metric runs its own paired traversal lazily at
-                # score time; nothing to execute here.
-                self._runs[spec.name] = _AlgorithmRun(spec, None, 0.0, None, 0.0)
+            runner = self.session._as_runner(alg, kind=kind, name=name)
+            # Keyed by the full spec label so two parameterizations of one
+            # algorithm ("sssp(source=0)", "sssp(source=5)") coexist.
+            if not runner.execute:
+                self._runs[runner.label] = _AlgorithmRun(runner, None, 0.0, None, 0.0)
                 continue
-            out0, t0 = self.session.baseline(spec)
-            out1, t1 = _timed(spec.fn, self.graph)
-            self._runs[spec.name] = _AlgorithmRun(spec, out0, t0, out1, t1)
+            out0, t0 = self.session.baseline(runner)
+            out1, t1 = _timed(runner.fn, self.graph)
+            self._runs[runner.label] = _AlgorithmRun(runner, out0, t0, out1, t1)
         return self
 
     def outputs(self, algorithm_name: str):
@@ -250,6 +278,18 @@ class CompressedRun:
         use this instead of re-running the algorithm for custom metrics.
         """
         run = self._runs.get(algorithm_name)
+        if run is None:
+            # Bare algorithm name: unambiguous label-prefix match.
+            matches = [
+                r for r in self._runs.values() if r.runner.name == algorithm_name
+            ]
+            if len(matches) == 1:
+                run = matches[0]
+            elif len(matches) > 1:
+                raise ValueError(
+                    f"algorithm {algorithm_name!r} is ambiguous; "
+                    f"use a full label from: {sorted(self._runs)}"
+                )
         if run is None:
             raise ValueError(
                 f"algorithm {algorithm_name!r} has not been run; "
@@ -262,70 +302,77 @@ class CompressedRun:
     def score(self, metrics: Sequence[str] | None = None) -> ScoreReport:
         """Score every run so far; terminal step of the fluent chain.
 
-        ``metrics`` names (``"kl"``, ``"reordered_pairs"``,
-        ``"relative_change"``, ``"critical_edges"``, or their canonical
-        long forms) apply to every run; ``None`` picks each run's default
-        metric from its algorithm kind (§5 routing).
+        ``metrics`` names resolve through the metric registry (``"kl"``,
+        ``"reordered_pairs"``, ``"relative_change"``,
+        ``"critical_edges"``, or their canonical long forms) and apply to
+        every run; ``None`` picks each run's default metric from its
+        result adapter (§5 routing).  A metric incompatible with a run's
+        adapter is an error naming the compatible set.
         """
         if not self._runs:
             raise ValueError("no algorithms run yet; call .run(...) first")
+        ctx = self._context()
         scores: dict[str, dict[str, float]] = {}
         for alg_name, run in self._runs.items():
+            adapter = run.runner.adapter
             if metrics is None:
-                chosen = [_DEFAULT_METRIC_BY_KIND[run.spec.kind]]
+                chosen = [adapter.default_metric]
             else:
                 chosen = list(metrics)
             out: dict[str, float] = {}
             for metric in chosen:
-                key, fn = _resolve_metric(metric)
-                if run.spec.kind == "bfs" and key != "critical_edge_preservation":
+                entry = resolve_metric(metric)
+                if adapter.name not in entry.adapters:
                     raise ValueError(
-                        f"bfs runs produce no algorithm output; only "
-                        f"'critical_edges' can score {alg_name!r}, not {metric!r}"
+                        f"metric {metric!r} does not apply to {alg_name!r} "
+                        f"({adapter.name} output); compatible: "
+                        f"{', '.join(compatible_names(adapter.name))}"
                     )
-                out[key] = fn(self.session, self, run.out0, run.out1)
+                out[entry.name] = self._metric_value(entry, run, ctx)
             scores[alg_name] = out
         return ScoreReport(scores)
 
     # -- the §5 battery ---------------------------------------------------- #
 
-    def evaluate(self, algorithms: list[AlgorithmSpec] | None = None) -> list[EvaluationRecord]:
+    def evaluate(self, algorithms: list | None = None) -> list[EvaluationRecord]:
         """Run the metric battery; original runs come from the cache."""
         session = self.session
-        algorithms = (
-            algorithms if algorithms is not None else session.default_battery()
+        runners = (
+            [session._as_runner(alg) for alg in algorithms]
+            if algorithms is not None
+            else session._battery_runners()
         )
+        ctx = self._context()
         records: list[EvaluationRecord] = []
-        for spec in algorithms:
-            if spec.kind == "bfs":
+        for runner in runners:
+            metric = resolve_metric(runner.adapter.default_metric)
+            run = None
+            if not runner.execute:
+                # Legacy battery BFS: the metric is the whole computation;
+                # split its cost over the two graph columns.
                 start = time.perf_counter()
-                value = critical_edge_preservation(
-                    session.graph, self.graph, session.bfs_root
-                )
+                value = float(metric.fn(ctx, None, None))
                 elapsed = time.perf_counter() - start
                 records.append(
                     EvaluationRecord(
-                        algorithm=spec.name,
-                        kind=spec.kind,
-                        metric_name="critical_edge_preservation",
-                        metric_value=float(value),
+                        algorithm=runner.label,
+                        kind=runner.adapter.legacy_kind,
+                        metric_name=metric.name,
+                        metric_value=value,
                         original_seconds=elapsed / 2,
                         compressed_seconds=elapsed / 2,
                     )
                 )
                 continue
-            metric_name = _DEFAULT_METRIC_BY_KIND.get(spec.kind)
-            if metric_name is None:
-                raise ValueError(f"unknown algorithm kind {spec.kind!r}")
-            out0, t0 = session.baseline(spec)
-            out1, t1 = _timed(spec.fn, self.graph)
-            metric_value = _METRICS[metric_name](session, self, out0, out1)
+            out0, t0 = session.baseline(runner)
+            out1, t1 = _timed(runner.fn, self.graph)
+            run = _AlgorithmRun(runner, out0, t0, out1, t1)
             records.append(
                 EvaluationRecord(
-                    algorithm=spec.name,
-                    kind=spec.kind,
-                    metric_name=metric_name,
-                    metric_value=float(metric_value),
+                    algorithm=runner.label,
+                    kind=runner.adapter.legacy_kind,
+                    metric_name=metric.name,
+                    metric_value=self._metric_value(metric, run, ctx),
                     original_seconds=t0,
                     compressed_seconds=t1,
                     original_value=out0,
@@ -353,6 +400,10 @@ class SweepRow:
     scheme_spec: str = ""
 
 
+#: The paper's Fig. 5 / Table 5 battery expressed as registry names.
+DEFAULT_GRID_ALGORITHMS = ("bfs", "pr", "cc", "tc")
+
+
 class Session:
     """Shared state for evaluating many schemes against one graph.
 
@@ -367,7 +418,9 @@ class Session:
         (:meth:`compress` with ``via="kernels"``): ``"serial"`` or
         ``"chunked"``, selected here once for the whole session.
     bfs_root, pr_iterations:
-        Parameters of the default §5 algorithm battery.
+        Session defaults injected into registry algorithms that omit them
+        (``bfs``/``sssp`` without ``source``, ``pagerank`` without
+        ``iterations``) and into the default §5 battery.
     """
 
     def __init__(
@@ -387,6 +440,7 @@ class Session:
         self.bfs_root = bfs_root
         self.pr_iterations = pr_iterations
         self._battery: list[AlgorithmSpec] | None = None
+        self._battery_runner_cache: list[_Runner] | None = None
         self._baselines: dict = {}
         #: Number of original-graph algorithm executions (cache misses);
         #: the baseline-reuse guarantee is observable through this counter.
@@ -398,28 +452,91 @@ class Session:
             f"backend={self.backend!r}, cached_baselines={len(self._baselines)})"
         )
 
+    # -- algorithm resolution ---------------------------------------------- #
+
+    def _bind(self, spec_like) -> BoundAlgorithm:
+        """Build a registry algorithm, injecting session defaults."""
+        bound = build_algorithm(spec_like)
+        overrides = {}
+        if bound.entry.name == "pagerank" and "max_iterations" not in bound.spec.params:
+            overrides["max_iterations"] = self.pr_iterations
+        if bound.entry.positional == "source" and "source" not in bound.spec.params:
+            overrides["source"] = self.bfs_root
+        return build_algorithm(bound, **overrides) if overrides else bound
+
+    def _as_runner(self, algorithm, *, kind: str | None = None, name: str | None = None) -> _Runner:
+        if isinstance(algorithm, _Runner):
+            return algorithm
+        if isinstance(algorithm, AlgorithmSpec):
+            return _Runner.of_legacy(algorithm)
+        if isinstance(algorithm, BoundAlgorithm):
+            return _Runner.of_bound(algorithm)
+        if isinstance(algorithm, DeclarativeAlgorithmSpec):
+            return _Runner.of_bound(self._bind(algorithm))
+        if isinstance(algorithm, str):
+            for runner in self._battery_runners():
+                if runner.label == algorithm:
+                    return runner
+            try:
+                return _Runner.of_bound(self._bind(algorithm))
+            except ValueError as err:
+                raise ValueError(
+                    f"unknown algorithm {algorithm!r}: {err}"
+                ) from None
+        if callable(algorithm):
+            return _Runner.of_legacy(
+                AlgorithmSpec(
+                    name or getattr(algorithm, "__name__", "algorithm"),
+                    algorithm,
+                    kind or "distribution",
+                )
+            )
+        raise TypeError(f"cannot interpret algorithm {algorithm!r}")
+
     # -- baseline cache ---------------------------------------------------- #
 
     def default_battery(self) -> list[AlgorithmSpec]:
-        """The §5 battery, created once so its specs key the cache."""
+        """The §5 battery as legacy executable specs (back-compat shim;
+        internally the session uses :meth:`_battery_runners`, which binds
+        the same algorithms through the registry)."""
         if self._battery is None:
             self._battery = default_algorithms(
                 bfs_root=self.bfs_root, pr_iterations=self.pr_iterations
             )
         return self._battery
 
-    def baseline(self, spec: AlgorithmSpec):
-        """(output, seconds) of ``spec`` on the original graph, cached.
+    def _battery_runners(self) -> list[_Runner]:
+        """The §5 battery bound through the registry, under the paper's
+        short labels.
 
-        Algorithms are identified by ``(name, kind)`` within a session:
-        register distinct names for distinct computations.
+        Because each runner's cache key is its canonical bound spec, a
+        battery entry and the equivalent registry spelling (``"pr"`` vs
+        ``"pagerank"``) share one baseline cache slot and deduplicate in
+        grids.
         """
-        key = (spec.name, spec.kind)
-        cached = self._baselines.get(key)
+        if self._battery_runner_cache is None:
+            runners = []
+            for short in ("bfs", "pr", "cc", "tc", "tc_per_vertex"):
+                runner = _Runner.of_bound(self._bind(short))
+                runner.name = short
+                runner.label = short
+                runners.append(runner)
+            self._battery_runner_cache = runners
+        return self._battery_runner_cache
+
+    def baseline(self, spec):
+        """(output, seconds) of an algorithm on the original graph, cached.
+
+        ``spec`` may be a legacy :class:`AlgorithmSpec` (keyed by
+        ``(name, kind)``), a :class:`BoundAlgorithm` / spec string (keyed
+        by its canonical declarative spec), or an internal runner.
+        """
+        runner = self._as_runner(spec)
+        cached = self._baselines.get(runner.key)
         if cached is None:
             self.baseline_computations += 1
-            cached = _timed(spec.fn, self.graph)
-            self._baselines[key] = cached
+            cached = _timed(runner.fn, self.graph)
+            self._baselines[runner.key] = cached
         return cached
 
     # -- compression ------------------------------------------------------- #
@@ -451,7 +568,7 @@ class Session:
     def evaluate(
         self,
         scheme,
-        algorithms: list[AlgorithmSpec] | None = None,
+        algorithms: list | None = None,
         *,
         seed=_UNSET,
         via: str = "fast",
@@ -460,12 +577,122 @@ class Session:
         run = self.compress(scheme, seed=seed, via=via)
         return run.evaluate(algorithms), run.graph
 
+    def grid(
+        self,
+        schemes: Iterable,
+        algorithms: Iterable | None = None,
+        metrics: Sequence[str] | None = None,
+        *,
+        seed=_UNSET,
+        via: str = "fast",
+    ) -> SweepTable:
+        """Evaluate the full scheme × algorithm × metric grid.
+
+        Every scheme is compressed once, every algorithm's original-graph
+        baseline is computed once for the whole grid (the session cache),
+        and every (scheme, algorithm) execution is scored with each
+        selected metric — one tidy long-format row per triple.
+
+        Parameters
+        ----------
+        schemes:
+            Scheme spec surfaces (strings, TR labels, ``|`` pipelines,
+            :class:`~repro.compress.spec.SchemeSpec`, configured schemes);
+            duplicates (by scheme equality) are evaluated once.
+        algorithms:
+            Algorithm surfaces (registry names/aliases, spec strings,
+            :class:`~repro.algorithms.spec.AlgorithmSpec`,
+            :class:`~repro.algorithms.registry.BoundAlgorithm`, legacy
+            executable specs); duplicates are executed once.  ``None``
+            runs the paper battery ``("bfs", "pr", "cc", "tc")``.
+        metrics:
+            Metric names applied to every algorithm they are compatible
+            with (by result adapter); ``None`` scores each algorithm with
+            its adapter's §5 default.  A requested metric compatible with
+            no algorithm in the grid is an error.
+
+        Returns
+        -------
+        SweepTable
+            Long-format rows; ``.to_csv()`` / ``.to_dict()`` round-trip.
+        """
+        built: list[CompressionScheme] = []
+        for s in schemes:
+            scheme = build_scheme(s)
+            if scheme not in built:
+                built.append(scheme)
+        if not built:
+            raise ValueError("grid needs at least one scheme")
+
+        runners: list[_Runner] = []
+        seen_keys: set = set()
+        for alg in algorithms if algorithms is not None else DEFAULT_GRID_ALGORITHMS:
+            runner = self._as_runner(alg)
+            if runner.key in seen_keys:
+                continue
+            seen_keys.add(runner.key)
+            runners.append(runner)
+        if not runners:
+            raise ValueError("grid needs at least one algorithm")
+
+        requested = (
+            None if metrics is None else [resolve_metric(m) for m in metrics]
+        )
+        plans: list[list[MetricEntry]] = []
+        for runner in runners:
+            if requested is None:
+                plans.append([resolve_metric(runner.adapter.default_metric)])
+            else:
+                plans.append(
+                    [e for e in requested if runner.adapter.name in e.adapters]
+                )
+        if requested is not None:
+            unmatched = [
+                e.name
+                for e in requested
+                if not any(e in plan for plan in plans)
+            ]
+            if unmatched:
+                raise ValueError(
+                    f"metrics {unmatched} apply to no algorithm in this grid"
+                )
+
+        cells: list[GridCell] = []
+        for scheme in built:
+            run = self.compress(scheme, seed=seed, via=via)
+            ctx = run._context()
+            scheme_label = _spec_label(scheme)
+            for runner, plan in zip(runners, plans):
+                if not plan:
+                    continue
+                if runner.execute:
+                    out0, t0 = self.baseline(runner)
+                    out1, t1 = _timed(runner.fn, run.graph)
+                else:
+                    out0 = out1 = None
+                    t0 = t1 = 0.0
+                arun = _AlgorithmRun(runner, out0, t0, out1, t1)
+                for entry in plan:
+                    cells.append(
+                        GridCell(
+                            scheme=scheme_label,
+                            algorithm=runner.label,
+                            metric=entry.name,
+                            value=run._metric_value(entry, arun, ctx),
+                            compression_ratio=run.compression_ratio,
+                            original_seconds=t0,
+                            compressed_seconds=t1,
+                            adapter=runner.adapter.name,
+                        )
+                    )
+        return SweepTable(cells)
+
     def sweep(
         self,
         schemes: Iterable,
         *,
         parameters: Sequence | None = None,
-        algorithms: list[AlgorithmSpec] | None = None,
+        algorithms: list | None = None,
         seed=_UNSET,
         repeats: int = 1,
     ) -> list[SweepRow]:

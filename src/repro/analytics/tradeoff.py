@@ -7,7 +7,10 @@ exactly the data behind each Fig. 5 panel.
 
 It is a deprecated shim over :meth:`repro.analytics.session.Session.sweep`,
 which additionally accepts spec-string lists, deduplicates equal schemes,
-and reuses cached baseline runs; new code should create a session.
+and reuses cached baseline runs; new code should create a session.  For
+sweeps over *both* the scheme and the algorithm axis (with registry-named
+algorithms and metrics), use :meth:`repro.analytics.session.Session.grid`,
+which returns a tidy long-format :class:`repro.analytics.grid.SweepTable`.
 :class:`SweepRow` now lives in :mod:`repro.analytics.session` and is
 re-exported here unchanged.
 """

@@ -32,6 +32,8 @@ __all__ = [
     "jaccard_minhash_clustering",
     "LDDResult",
     "jaccard_similarity",
+    "relabel_mapping",
+    "vertex_alignment",
 ]
 
 from dataclasses import dataclass
@@ -118,6 +120,72 @@ def beta_for_spanner(g: CSRGraph, k: float) -> float:
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     return math.log(max(g.n, 2)) / k
+
+
+def relabel_mapping(n: int, dropped) -> np.ndarray:
+    """Original id → compacted survivor id (-1 for dropped vertices).
+
+    The provenance record a vertex-dropping scheme stores in
+    ``extras["mapping"]`` so :func:`vertex_alignment` can align
+    per-vertex outputs after compaction.
+    """
+    gone = np.zeros(n, dtype=bool)
+    gone[np.asarray(dropped, dtype=np.int64)] = True
+    mapping = np.cumsum(~gone, dtype=np.int64) - 1
+    mapping[gone] = -1
+    return mapping
+
+
+def vertex_alignment(result) -> np.ndarray | None:
+    """Original-vertex → compressed-vertex index map of a compression.
+
+    When a scheme genuinely changes the vertex set (triangle collapse,
+    relabeled sampling), per-vertex algorithm outputs on the compressed
+    graph are not positionally comparable with the original's; the
+    accuracy metrics must read each original vertex's value at the
+    compressed vertex that *carries* it.  This function recovers that map
+    from a :class:`~repro.compress.base.CompressionResult`'s provenance:
+
+    - ``None`` means the vertex set is preserved (identity alignment) —
+      the common case, since schemes keep removed vertices as isolated
+      ids by default;
+    - otherwise an ``int64`` array of length ``original.n`` whose entry v
+      is the compressed vertex holding original vertex v, or ``-1`` when
+      v was dropped with no surviving counterpart.
+
+    Chains compose their per-stage ``extras["mapping"]`` records stage by
+    stage.  If any vertex-changing stage recorded no mapping, ``None`` is
+    returned and callers fall back to positional padding (the legacy —
+    and score-skewing — behavior this map exists to avoid).
+    """
+    n0, n1 = result.original.n, result.graph.n
+    if n1 == n0:
+        return None
+    stage_extras = result.extras.get("stage_extras")
+    if stage_extras is None:
+        stage_extras = [result.extras]
+    records = list(result.lineage)
+    if len(records) != len(stage_extras):
+        records = [None] * len(stage_extras)
+    current = np.arange(n0, dtype=np.int64)
+    for record, extras in zip(records, stage_extras):
+        if record is not None and record.vertices_out == record.vertices_in:
+            continue
+        stage_map = extras.get("mapping")
+        if stage_map is None:
+            return None
+        stage_map = np.asarray(stage_map, dtype=np.int64)
+        if record is not None and len(stage_map) != record.vertices_in:
+            return None
+        if current.size and current.max() >= len(stage_map):
+            return None
+        alive = current >= 0
+        nxt = np.full(n0, -1, dtype=np.int64)
+        nxt[alive] = stage_map[current[alive]]
+        current = nxt
+    if current.size and current.max() >= n1:
+        return None
+    return current
 
 
 def jaccard_similarity(g: CSRGraph, u: int, v: int) -> float:

@@ -27,6 +27,7 @@ from typing import Mapping
 
 from repro.compress.base import CompressionScheme
 from repro.compress.spec import SchemeSpec
+from repro.utils.registry import AliasNamespace
 
 __all__ = [
     "SchemeEntry",
@@ -54,8 +55,12 @@ class SchemeEntry:
     example: str = ""
 
 
-_REGISTRY: dict[str, SchemeEntry] = {}
-_ALIASES: dict[str, str] = {}  # lowercase alias (incl. canonical) -> canonical
+_NAMESPACE = AliasNamespace(
+    "scheme",
+    describe=lambda entry: entry.factory.__qualname__,
+    # Re-decorating the same class (module reload) is idempotent.
+    same=lambda old, new: old.factory.__qualname__ == new.factory.__qualname__,
+)
 _BUILTINS_LOADED = False
 
 
@@ -108,24 +113,6 @@ def register_scheme(
 
     def decorator(cls):
         key = name.lower()
-        existing = _REGISTRY.get(key)
-        if existing is not None and existing.factory.__qualname__ != cls.__qualname__:
-            raise ValueError(
-                f"scheme name {name!r} already registered to "
-                f"{existing.factory.__qualname__}"
-            )
-        name_owner = _ALIASES.get(key)
-        if name_owner is not None and name_owner != key:
-            raise ValueError(
-                f"scheme name {name!r} already registered as an alias of "
-                f"{name_owner!r}"
-            )
-        for alias in aliases:
-            owner = _ALIASES.get(alias.lower())
-            if owner is not None and owner != key:
-                raise ValueError(
-                    f"alias {alias!r} already registered to scheme {owner!r}"
-                )
         entry = SchemeEntry(
             name=key,
             factory=cls,
@@ -134,10 +121,7 @@ def register_scheme(
             summary=summary,
             example=example or key,
         )
-        _REGISTRY[key] = entry
-        _ALIASES[key] = key
-        for alias in entry.aliases:
-            _ALIASES[alias] = key
+        _NAMESPACE.register(name, entry.aliases, entry)
         cls.name = key
         return cls
 
@@ -146,39 +130,31 @@ def register_scheme(
 
 def unregister_scheme(name: str) -> None:
     """Remove a scheme (and its aliases) from the registry."""
-    key = resolve_name(name)
-    if key is None:
-        raise ValueError(f"unknown scheme {name!r}")
-    entry = _REGISTRY.pop(key)
-    for alias in (key, *entry.aliases):
-        _ALIASES.pop(alias, None)
+    _ensure_builtins()
+    _NAMESPACE.unregister(name)
 
 
 def resolve_name(name: str) -> str | None:
     """Canonical name for ``name`` (alias-aware), or None if unknown."""
     _ensure_builtins()
-    return _ALIASES.get(name.lower())
+    return _NAMESPACE.resolve(name)
 
 
 def positional_param(name: str) -> str | None:
     """The registered positional parameter of ``name``, if any."""
     key = resolve_name(name)
-    return _REGISTRY[key].positional if key else None
+    return _NAMESPACE.entry_of(key).positional if key else None
 
 
 def get_entry(name: str) -> SchemeEntry:
-    key = resolve_name(name)
-    if key is None:
-        raise ValueError(
-            f"unknown scheme {name.lower()!r}; known: {sorted(_ALIASES)}"
-        )
-    return _REGISTRY[key]
+    _ensure_builtins()
+    return _NAMESPACE.get_known(name)
 
 
 def registered_schemes() -> dict[str, SchemeEntry]:
     """Canonical name -> entry, for iteration (docs, round-trip tests)."""
     _ensure_builtins()
-    return dict(sorted(_REGISTRY.items()))
+    return _NAMESPACE.items()
 
 
 def build_scheme(spec, **overrides) -> CompressionScheme:
@@ -240,19 +216,19 @@ class _FactoriesView(Mapping):
         canonical = resolve_name(key)
         if canonical is None:
             raise KeyError(key)
-        return _REGISTRY[canonical].factory
+        return _NAMESPACE.entry_of(canonical).factory
 
     def __iter__(self):
         _ensure_builtins()
-        return iter(sorted(_ALIASES))
+        return iter(_NAMESPACE.known_names())
 
     def __len__(self) -> int:
         _ensure_builtins()
-        return len(_ALIASES)
+        return len(_NAMESPACE)
 
     def __repr__(self) -> str:
         _ensure_builtins()
-        return f"SCHEME_FACTORIES({sorted(_ALIASES)})"
+        return f"SCHEME_FACTORIES({_NAMESPACE.known_names()})"
 
 
 SCHEME_FACTORIES = _FactoriesView()

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.mappings import relabel_mapping
 from repro.compress.registry import register_scheme
 from repro.core.kernels import VertexKernel
 from repro.graphs.csr import CSRGraph
@@ -72,12 +73,15 @@ class RandomVertexSampling(CompressionScheme):
         r = rng.random(g.n)
         drop = np.flatnonzero(r > self.p)
         sub = g.remove_vertices(drop, relabel=self.relabel)
+        extras = {"vertices_removed": int(len(drop))}
+        if self.relabel:
+            extras["mapping"] = relabel_mapping(g.n, drop)
         return CompressionResult(
             graph=sub,
             original=g,
             scheme=self.name,
             params=self.params(),
-            extras={"vertices_removed": int(len(drop))},
+            extras=extras,
         )
 
     def make_kernel(self):
@@ -148,10 +152,13 @@ class RandomWalkSampling(CompressionScheme):
                 current = int(nbrs[rng.integers(0, len(nbrs))])
         drop = np.flatnonzero(~visited)
         sub = g.remove_vertices(drop, relabel=self.relabel)
+        extras = {"vertices_kept": int(num_visited), "walk_steps": steps}
+        if self.relabel:
+            extras["mapping"] = relabel_mapping(g.n, drop)
         return CompressionResult(
             graph=sub,
             original=g,
             scheme=self.name,
             params=self.params(),
-            extras={"vertices_kept": int(num_visited), "walk_steps": steps},
+            extras=extras,
         )

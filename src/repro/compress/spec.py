@@ -68,6 +68,54 @@ def _format_value(value: Any) -> str:
     return str(value)
 
 
+def _parse_params(
+    name: str,
+    args: str,
+    text: str,
+    *,
+    positional,
+    canonical=None,
+    label: str = "scheme",
+) -> dict:
+    """Parse a ``key=value, …`` argument list (shared spec grammar).
+
+    One optional bare leading value binds to ``positional(name)``;
+    ``canonical(name, key)`` (when given) normalizes parameter
+    spellings.  ``label`` names the spec family in error messages.
+    Used by both :class:`SchemeSpec` and
+    :class:`repro.algorithms.spec.AlgorithmSpec` so the grammar cannot
+    drift between the two axes.
+    """
+    params: dict[str, Any] = {}
+    for i, part in enumerate(args.split(",")):
+        part = part.strip()
+        if not part:
+            raise ValueError(f"empty parameter in {label} spec {text!r}")
+        key, sep, value = part.partition("=")
+        if not sep:
+            # Bare positional value: resolvable only through the
+            # registry's declared positional parameter.
+            if i != 0:
+                raise ValueError(f"positional value must come first in {text!r}")
+            key = positional(name)
+            if key is None:
+                raise ValueError(
+                    f"{label} {name!r} takes no positional value "
+                    f"(in spec {text!r})"
+                )
+            value = part
+        else:
+            key = key.strip()
+            if not value.strip():
+                raise ValueError(
+                    f"missing value for {key!r} in {label} spec {text!r}"
+                )
+        if canonical is not None:
+            key = canonical(name, key)
+        params[key] = _parse_value(value.strip())
+    return params
+
+
 def _split_pipeline(text: str) -> list[str]:
     """Split on top-level ``|`` (pipes inside parentheses are preserved)."""
     parts: list[str] = []
@@ -155,32 +203,9 @@ class SchemeSpec:
         name = _canonical_name(name)
         params: dict[str, Any] = {}
         if args and args.strip():
-            for i, part in enumerate(args.split(",")):
-                part = part.strip()
-                if not part:
-                    raise ValueError(f"empty parameter in scheme spec {text!r}")
-                key, sep, value = part.partition("=")
-                if not sep:
-                    # Bare positional value: resolvable only through the
-                    # registry's declared positional parameter.
-                    if i != 0:
-                        raise ValueError(
-                            f"positional value must come first in {text!r}"
-                        )
-                    key = _positional_name(name)
-                    if key is None:
-                        raise ValueError(
-                            f"scheme {name!r} takes no positional value "
-                            f"(in spec {text!r})"
-                        )
-                    value = part
-                else:
-                    key = key.strip()
-                    if not value.strip():
-                        raise ValueError(
-                            f"missing value for {key!r} in scheme spec {text!r}"
-                        )
-                params[key] = _parse_value(value.strip())
+            params = _parse_params(
+                name, args, text, positional=_positional_name, label="scheme"
+            )
         return cls(name, params)
 
     # -- formatting -------------------------------------------------------- #

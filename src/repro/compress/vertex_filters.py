@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compress.base import CompressionResult, CompressionScheme
+from repro.compress.mappings import relabel_mapping
 from repro.compress.registry import register_scheme
 from repro.core.kernels import VertexKernel
 from repro.graphs.csr import CSRGraph
@@ -55,6 +56,9 @@ class LowDegreeVertexRemoval(CompressionScheme):
         current = g
         removed_total = 0
         done_rounds = 0
+        # Original id -> current compacted id (-1 once dropped), composed
+        # round by round; the alignment provenance for relabel=True.
+        mapping = np.arange(g.n, dtype=np.int64)
         limit = self.rounds if self.rounds is not None else 1 << 30
         while done_rounds < limit:
             done_rounds += 1
@@ -66,15 +70,22 @@ class LowDegreeVertexRemoval(CompressionScheme):
             if len(victims) == 0:
                 break
             removed_total += len(victims)
+            if self.relabel:
+                round_map = relabel_mapping(current.n, victims)
+                alive = mapping >= 0
+                mapping[alive] = round_map[mapping[alive]]
             current = current.remove_vertices(victims, relabel=self.relabel)
             if self.relabel is False and self.max_degree == 0:
                 break
+        extras = {"vertices_removed": removed_total, "rounds": done_rounds}
+        if self.relabel:
+            extras["mapping"] = mapping
         return CompressionResult(
             graph=current,
             original=g,
             scheme=self.name,
             params=self.params(),
-            extras={"vertices_removed": removed_total, "rounds": done_rounds},
+            extras=extras,
         )
 
     def make_kernel(self):

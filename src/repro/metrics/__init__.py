@@ -26,8 +26,24 @@ from repro.metrics.distributions import (
     fit_power_law,
 )
 from repro.metrics.scalars import relative_change, absolute_change, is_preserved
+from repro.metrics.registry import (
+    MetricContext,
+    MetricEntry,
+    metrics_for_adapter,
+    register_metric,
+    registered_metrics,
+    resolve_metric,
+    unregister_metric,
+)
 
 __all__ = [
+    "MetricContext",
+    "MetricEntry",
+    "register_metric",
+    "registered_metrics",
+    "resolve_metric",
+    "unregister_metric",
+    "metrics_for_adapter",
     "normalize_distribution",
     "kl_divergence",
     "js_divergence",

@@ -83,7 +83,11 @@ def reordered_neighbor_pairs(g, before, after) -> float:
     after = np.asarray(after, dtype=np.float64)
     if g.num_edges == 0:
         return 0.0
-    du = before[g.edge_src] - before[g.edge_dst]
-    dv = after[g.edge_src] - after[g.edge_dst]
-    discordant = (du * dv) < 0
+    # inf - inf (both endpoints unreachable, e.g. SSSP distances) gives
+    # nan, which correctly reads as "not strictly reordered" below — the
+    # errstate just silences the spurious warning.
+    with np.errstate(invalid="ignore"):
+        du = before[g.edge_src] - before[g.edge_dst]
+        dv = after[g.edge_src] - after[g.edge_dst]
+        discordant = (du * dv) < 0
     return float(discordant.sum()) / g.num_edges

@@ -1,0 +1,274 @@
+"""The open accuracy-metric registry (§5's metric axis, made declarative).
+
+Metrics declare themselves with :func:`register_metric`, naming the
+result adapters (:mod:`repro.algorithms.adapters`) whose outputs they can
+score::
+
+    @register_metric("kl_divergence", adapters=("distribution",),
+                     aliases=("kl",), summary="Kullback–Leibler divergence")
+    def _kl(ctx, original, compressed):
+        return float(kl_divergence(original, compressed))
+
+Every metric has the same signature: ``fn(ctx, original, compressed)``
+where the values are already adapter-canonicalized and aligned across the
+compression's vertex mapping, and ``ctx`` is a :class:`MetricContext`
+carrying the graph pair (for metrics like reordered neighbor pairs and
+BFS critical edges that consult the adjacency, not just the outputs).
+
+The session and the grid sweep pull compatible metrics from here; the
+adapter's ``default_metric`` reproduces the paper's §5 routing when no
+metric is named explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.metrics.bfs_quality import critical_edge_preservation
+from repro.metrics.divergences import (
+    hellinger_distance,
+    js_divergence,
+    kl_divergence,
+    total_variation,
+)
+from repro.metrics.ordering import (
+    reordered_neighbor_pairs,
+    reordered_pairs_fraction,
+)
+from repro.metrics.scalars import absolute_change, relative_change
+from repro.utils.registry import AliasNamespace
+
+__all__ = [
+    "MetricContext",
+    "MetricEntry",
+    "register_metric",
+    "unregister_metric",
+    "resolve_metric",
+    "registered_metrics",
+    "metrics_for_adapter",
+]
+
+
+@dataclass(frozen=True)
+class MetricContext:
+    """The graph pair a metric may consult beyond the two output values."""
+
+    original: CSRGraph
+    compressed: CSRGraph
+    bfs_root: int = 0
+
+
+@dataclass(frozen=True)
+class MetricEntry:
+    """Everything the registry knows about one metric."""
+
+    name: str
+    fn: Callable  # (ctx, original_value, compressed_value) -> float
+    adapters: tuple[str, ...]
+    aliases: tuple[str, ...] = ()
+    summary: str = ""
+
+
+_NAMESPACE = AliasNamespace(
+    "metric",
+    describe=lambda entry: entry.fn.__qualname__,
+    # Re-decorating the same function (module reload) is idempotent.
+    same=lambda old, new: old.fn is new.fn,
+)
+
+
+def register_metric(
+    name: str,
+    *,
+    adapters: tuple[str, ...] | list[str],
+    aliases: tuple[str, ...] | list[str] = (),
+    summary: str = "",
+):
+    """Function decorator adding a metric to the registry.
+
+    ``adapters`` names the result adapters this metric can score; name
+    and alias collisions are rejected exactly as in the scheme and
+    algorithm registries.
+    """
+    if not adapters:
+        raise ValueError(f"metric {name!r} must declare at least one adapter")
+
+    def decorator(fn):
+        entry = MetricEntry(
+            name=name.lower(),
+            fn=fn,
+            adapters=tuple(adapters),
+            aliases=tuple(a.lower() for a in aliases),
+            summary=summary,
+        )
+        _NAMESPACE.register(name, entry.aliases, entry)
+        return fn
+
+    return decorator
+
+
+def unregister_metric(name: str) -> None:
+    """Remove a metric (and its aliases) from the registry."""
+    _NAMESPACE.unregister(name)
+
+
+def resolve_metric(name: str) -> MetricEntry:
+    """Entry for ``name`` (alias-aware); raises on unknown metrics."""
+    return _NAMESPACE.get_known(name)
+
+
+def registered_metrics() -> dict[str, MetricEntry]:
+    """Canonical name -> entry, for iteration (docs, round-trip tests)."""
+    return _NAMESPACE.items()
+
+
+def metrics_for_adapter(adapter: str) -> list[MetricEntry]:
+    """Every registered metric compatible with one result adapter."""
+    return [e for e in registered_metrics().values() if adapter in e.adapters]
+
+
+def compatible_names(adapter: str) -> list[str]:
+    """Canonical names (with aliases parenthesized) for error messages."""
+    out = []
+    for entry in metrics_for_adapter(adapter):
+        label = entry.name
+        if entry.aliases:
+            label += " (" + ", ".join(entry.aliases) + ")"
+        out.append(label)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# built-in metrics (§5)
+# --------------------------------------------------------------------- #
+
+
+@register_metric(
+    "kl_divergence",
+    adapters=("distribution",),
+    aliases=("kl",),
+    summary="Kullback–Leibler divergence of normalized outputs (Table 5)",
+)
+def _metric_kl(ctx, original, compressed) -> float:
+    return float(kl_divergence(original, compressed))
+
+
+@register_metric(
+    "js_divergence",
+    adapters=("distribution",),
+    aliases=("js",),
+    summary="Jensen–Shannon divergence (symmetric, bounded)",
+)
+def _metric_js(ctx, original, compressed) -> float:
+    return float(js_divergence(original, compressed))
+
+
+@register_metric(
+    "hellinger_distance",
+    adapters=("distribution",),
+    aliases=("hellinger",),
+    summary="Hellinger distance in [0, 1]",
+)
+def _metric_hellinger(ctx, original, compressed) -> float:
+    return float(hellinger_distance(original, compressed, smoothing=1e-12))
+
+
+@register_metric(
+    "total_variation",
+    adapters=("distribution",),
+    aliases=("tv",),
+    summary="total variation distance in [0, 1]",
+)
+def _metric_tv(ctx, original, compressed) -> float:
+    return float(total_variation(original, compressed, smoothing=1e-12))
+
+
+@register_metric(
+    "l2_distance",
+    adapters=("distribution", "ordering"),
+    aliases=("l2",),
+    summary="Euclidean distance of the raw output vectors",
+)
+def _metric_l2(ctx, original, compressed) -> float:
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(compressed, dtype=np.float64)
+    finite = np.isfinite(a) & np.isfinite(b)
+    return float(np.linalg.norm(a[finite] - b[finite]))
+
+
+@register_metric(
+    "relative_change",
+    adapters=("scalar",),
+    aliases=("rel_change",),
+    summary="(compressed - original) / |original| (§5's scalar tool)",
+)
+def _metric_relative_change(ctx, original, compressed) -> float:
+    return float(relative_change(float(original), float(compressed)))
+
+
+@register_metric(
+    "absolute_change",
+    adapters=("scalar",),
+    aliases=("abs_change",),
+    summary="compressed - original",
+)
+def _metric_absolute_change(ctx, original, compressed) -> float:
+    return float(absolute_change(float(original), float(compressed)))
+
+
+@register_metric(
+    "reordered_neighbor_pairs",
+    adapters=("ordering", "distribution"),
+    aliases=("reordered_pairs",),
+    summary="fraction of adjacent pairs whose order flips (original adjacency)",
+)
+def _metric_reordered_neighbor_pairs(ctx, original, compressed) -> float:
+    return float(reordered_neighbor_pairs(ctx.original, original, compressed))
+
+
+@register_metric(
+    "reordered_pairs_fraction",
+    adapters=("ordering", "distribution"),
+    aliases=("reordered_fraction",),
+    summary="|PRE| / n² over all vertex pairs (O(n log n))",
+)
+def _metric_reordered_pairs_fraction(ctx, original, compressed) -> float:
+    return float(reordered_pairs_fraction(original, compressed))
+
+
+@register_metric(
+    "jaccard_overlap",
+    adapters=("vertex_set",),
+    aliases=("jaccard",),
+    summary="|A∩B| / |A∪B| of the two vertex sets",
+)
+def _metric_jaccard(ctx, original, compressed) -> float:
+    a, b = frozenset(original), frozenset(compressed)
+    union = len(a | b)
+    return float(len(a & b) / union) if union else 1.0
+
+
+@register_metric(
+    "size_relative_change",
+    adapters=("vertex_set",),
+    aliases=("size_change",),
+    summary="relative change of the vertex-set size",
+)
+def _metric_size_change(ctx, original, compressed) -> float:
+    return float(relative_change(float(len(original)), float(len(compressed))))
+
+
+@register_metric(
+    "critical_edge_preservation",
+    adapters=("traversal",),
+    aliases=("critical_edges",),
+    summary="|Ẽcr| / |Ecr| for BFS from the session root (§5, Fig. 4)",
+)
+def _metric_critical_edges(ctx, original, compressed) -> float:
+    return float(
+        critical_edge_preservation(ctx.original, ctx.compressed, ctx.bfs_root)
+    )

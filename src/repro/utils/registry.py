@@ -1,0 +1,127 @@
+"""Shared name/alias bookkeeping for the library's open registries.
+
+The scheme (:mod:`repro.compress.registry`), algorithm
+(:mod:`repro.algorithms.registry`), and metric
+(:mod:`repro.metrics.registry`) registries all follow the same contract:
+case-insensitive canonical names plus aliases, collision rejection at
+registration time, alias-aware resolution, and unregistration that also
+drops the aliases.  :class:`AliasNamespace` is that contract in one
+place, so the collision semantics cannot drift between the three axes.
+
+Entries are opaque to the namespace except for an optional ``aliases``
+attribute (consulted on unregister).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+__all__ = ["AliasNamespace"]
+
+
+class AliasNamespace:
+    """Canonical-name → entry store with alias resolution.
+
+    Parameters
+    ----------
+    kind:
+        The noun used in error messages (``"scheme"``, ``"algorithm"``,
+        ``"metric"``).
+    describe:
+        Renders an existing entry in duplicate-name errors (e.g. its
+        factory's qualname).
+    same:
+        Equivalence test making re-registration of the *same* underlying
+        object idempotent instead of a collision (module reloads).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        describe: Callable = repr,
+        same: Callable | None = None,
+    ):
+        self.kind = kind
+        self._describe = describe
+        self._same = same
+        self._entries: dict[str, object] = {}
+        self._aliases: dict[str, str] = {}  # lowercase alias (incl. canonical) -> canonical
+
+    # -- registration ------------------------------------------------------ #
+
+    def register(self, name: str, aliases: Iterable[str], entry) -> str:
+        """Insert ``entry`` under ``name`` + ``aliases``; returns the key.
+
+        Rejects names already owned by another entry, names shadowing an
+        existing alias, and aliases owned by another canonical name.
+        """
+        key = name.lower()
+        existing = self._entries.get(key)
+        if existing is not None and not (self._same and self._same(existing, entry)):
+            raise ValueError(
+                f"{self.kind} name {name!r} already registered to "
+                f"{self._describe(existing)}"
+            )
+        owner = self._aliases.get(key)
+        if owner is not None and owner != key:
+            raise ValueError(
+                f"{self.kind} name {name!r} already registered as an alias "
+                f"of {owner!r}"
+            )
+        lowered = tuple(a.lower() for a in aliases)
+        for alias in lowered:
+            owner = self._aliases.get(alias)
+            if owner is not None and owner != key:
+                raise ValueError(
+                    f"alias {alias!r} already registered to {self.kind} {owner!r}"
+                )
+        self._entries[key] = entry
+        self._aliases[key] = key
+        for alias in lowered:
+            self._aliases[alias] = key
+        return key
+
+    def unregister(self, name: str):
+        """Remove an entry and its aliases; returns the entry."""
+        key = self.resolve(name)
+        if key is None:
+            raise ValueError(f"unknown {self.kind} {name!r}")
+        entry = self._entries.pop(key)
+        for alias in (key, *getattr(entry, "aliases", ())):
+            self._aliases.pop(alias, None)
+        return entry
+
+    # -- lookup -------------------------------------------------------------#
+
+    def resolve(self, name: str) -> str | None:
+        """Canonical name for ``name`` (alias-aware), or None if unknown."""
+        return self._aliases.get(name.lower())
+
+    def get_known(self, name: str):
+        """Entry for a resolvable name; raises listing the known names."""
+        key = self.resolve(name)
+        if key is None:
+            raise ValueError(
+                f"unknown {self.kind} {name.lower()!r}; "
+                f"known: {self.known_names()}"
+            )
+        return self._entries[key]
+
+    def entry_of(self, canonical: str):
+        """Entry by canonical key (no alias resolution, no error text)."""
+        return self._entries[canonical]
+
+    def items(self) -> dict:
+        """Canonical name -> entry, sorted."""
+        return dict(sorted(self._entries.items()))
+
+    def known_names(self) -> list[str]:
+        """Every resolvable name (canonical + aliases), sorted."""
+        return sorted(self._aliases)
+
+    def __len__(self) -> int:
+        return len(self._aliases)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._aliases
