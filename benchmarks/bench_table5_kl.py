@@ -3,8 +3,14 @@
 For five graphs and seven compression configurations (EO-0.8-1-TR,
 EO-1.0-1-TR, uniform p=0.2 / 0.5 — the paper's "p" there is the kept
 fraction, spanner k = 2 / 16 / 128), compare the PageRank distribution on
-the compressed graph against the original with D_KL.  Each graph's column
-is one ``Session.grid`` sweep (schemes × pagerank × kl).
+the compressed graph against the original with D_KL.
+
+The experiment is the registered ``table5`` sweep
+(:mod:`repro.runner.harness`) — one grid per graph, the original
+PageRank distribution computed once per session no matter how many
+schemes score against it; ``python -m repro.runner table5`` reproduces it
+from the command line (resumably with ``--store``).  This file declares
+the run and checks the paper's qualitative shape.
 
 Shape assertions (§7.2): within every scheme family, more compression ⇒
 higher KL; EO-TR's divergences sit below uniform p=0.5's.
@@ -14,42 +20,36 @@ from __future__ import annotations
 
 from benchmarks.conftest import emit
 from repro.analytics.report import format_table
-from repro.analytics.session import Session
+from repro.compress.registry import build_scheme
+from repro.runner.harness import TABLE5_SCHEMES, get_sweep, run_sweep
 
-GRAPHS = ["s-you", "h-hud", "l-dbl", "v-skt", "v-usa"]
-# Table 5's "Uniform (p=x)" states the REMOVED fraction; our scheme takes
-# the kept fraction, hence uniform(p=1-x) below.
-SCHEMES = [
-    ("EO-0.8-1-TR", "EO-0.8-1-TR"),
-    ("EO-1.0-1-TR", "EO-1.0-1-TR"),
-    ("uniform(p=0.8)", "Uniform p=0.2"),
-    ("uniform(p=0.5)", "Uniform p=0.5"),
-    ("spanner(k=2)", "Spanner k=2"),
-    ("spanner(k=16)", "Spanner k=16"),
-    ("spanner(k=128)", "Spanner k=128"),
-]
+GRAPHS = list(get_sweep("table5").graphs)
 
 
 def run_table5(graph_cache, results_dir):
+    result = run_sweep(
+        "table5", graph_loader=lambda name: graph_cache.load(name, seed=0)
+    )
+    # One KL cell per (graph, scheme): pagerank only, metric "kl".
+    assert result.perf["cells"] == len(GRAPHS) * len(TABLE5_SCHEMES)
+    # The original PageRank distribution ran once per graph session no
+    # matter how many schemes scored against it.
+    assert all(g["baseline_computations"] == 1 for g in result.perf["grids"])
+
     rows = []
     values: dict[tuple, float] = {}
     for gname in GRAPHS:
-        g = graph_cache.load(gname)
-        # One grid sweep per graph: all seven scheme configurations ×
-        # PageRank × KL in a single call; the original PageRank
-        # distribution is computed once per session no matter how many
-        # schemes score against it.
-        session = Session(g, seed=3, pr_iterations=100)
-        table = session.grid([spec for spec, _ in SCHEMES], ["pr"], ["kl"])
-        assert session.baseline_computations == 1
+        per_graph = result.table.filter(graph=gname)
         row = [gname]
-        # Grid rows preserve the (deduplicated) scheme order: one cell per
-        # scheme here, since there is a single algorithm and metric.
-        for (spec, _), cell in zip(SCHEMES, table):
+        for (spec, _), cell in zip(TABLE5_SCHEMES, per_graph):
+            # Cells carry the built scheme's full canonical label
+            # (defaults expanded) in declaration order.
+            assert cell.scheme == build_scheme(spec).spec().to_string()
+            assert cell.metric == "kl_divergence"
             row.append(cell.value)
             values[(gname, spec)] = cell.value
         rows.append(row)
-    headers = ["graph"] + [label for _, label in SCHEMES]
+    headers = ["graph"] + [label for _, label in TABLE5_SCHEMES]
     text = format_table(
         rows, headers, title="Table 5: KL divergence of PageRank distributions"
     )

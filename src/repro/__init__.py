@@ -108,6 +108,8 @@ from repro.analytics import (
 )
 from repro import theory
 from repro import distributed
+from repro import runner
+from repro.runner import ArtifactStore, run_sweep
 
 __version__ = "1.0.0"
 
@@ -170,5 +172,8 @@ __all__ = [
     "sweep",
     "theory",
     "distributed",
+    "runner",
+    "ArtifactStore",
+    "run_sweep",
     "__version__",
 ]

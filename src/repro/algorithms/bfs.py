@@ -73,6 +73,15 @@ def gather_frontier_arcs(g: CSRGraph, frontier: np.ndarray):
     summary="Graph500-style BFS; accuracy is critical-edge preservation (§5)",
     example="bfs(source=0)",
 )
+@register_algorithm(
+    "bfs_reach",
+    adapter="scalar",
+    positional="source",
+    extract=lambda res: res.num_reached,
+    summary="BFS reachable-vertex count; the scalar surface runtime-tradeoff "
+    "sweeps time (the traversal surface delegates its work to the metric)",
+    example="bfs_reach(source=0)",
+)
 def bfs(g: CSRGraph, source: int) -> BFSResult:
     """BFS from ``source`` over out-edges (undirected graphs use all edges)."""
     if not 0 <= source < g.n:

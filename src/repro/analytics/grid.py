@@ -25,7 +25,13 @@ __all__ = ["GridCell", "SweepTable"]
 
 @dataclass(frozen=True)
 class GridCell:
-    """One cell of a grid sweep: a scored (scheme, algorithm, metric)."""
+    """One cell of a grid sweep: a scored (scheme, algorithm, metric).
+
+    ``seed`` records the compression seed the cell was actually produced
+    with (so cached and fresh runs are auditable and byte-identical), and
+    ``graph`` names the input graph when the cell comes from a multi-graph
+    harness sweep (empty for single-session grids).
+    """
 
     scheme: str
     algorithm: str
@@ -35,6 +41,8 @@ class GridCell:
     original_seconds: float = 0.0
     compressed_seconds: float = 0.0
     adapter: str = ""
+    graph: str = ""
+    seed: object = None
 
     @property
     def relative_runtime_difference(self) -> float:
@@ -56,6 +64,34 @@ _FLOAT_FIELDS = (
     "original_seconds",
     "compressed_seconds",
 )
+
+
+def _format_field(value) -> str:
+    """Serialize one cell field for text transports (CSV *and* markdown).
+
+    Floats use ``repr``, whose shortest-round-trip guarantee makes
+    ``float(_format_field(x)) == x`` exact; ``None`` (an unset seed)
+    becomes the empty string.  Both :meth:`SweepTable.to_csv` and
+    :meth:`SweepTable.to_markdown` go through here so the two formats can
+    never drift.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _parse_seed(text: str):
+    """Inverse of :func:`_format_field` for the ``seed`` column."""
+    if text == "" or text is None:
+        return None
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
 
 
 class SweepTable:
@@ -101,16 +137,24 @@ class SweepTable:
     def metrics(self) -> list[str]:
         return _unique(c.metric for c in self.rows)
 
+    def graphs(self) -> list[str]:
+        """Graph names present (harness sweeps span several; may be [''])."""
+        return _unique(c.graph for c in self.rows)
+
     # -- slicing ------------------------------------------------------------ #
 
-    def filter(self, *, scheme=None, algorithm=None, metric=None) -> "SweepTable":
-        """Rows matching every given axis value (exact string match)."""
+    def filter(
+        self, *, scheme=None, algorithm=None, metric=None, graph=None, seed=None
+    ) -> "SweepTable":
+        """Rows matching every given axis value (exact match)."""
         return SweepTable(
             c
             for c in self.rows
             if (scheme is None or c.scheme == scheme)
             and (algorithm is None or c.algorithm == algorithm)
             and (metric is None or c.metric == metric)
+            and (graph is None or c.graph == graph)
+            and (seed is None or c.seed == seed)
         )
 
     def pivot(self) -> dict[tuple[str, str, str], float]:
@@ -135,7 +179,7 @@ class SweepTable:
         writer.writerow(self.headers)
         for cell in self.rows:
             d = cell.to_dict()
-            writer.writerow([d[h] for h in self.headers])
+            writer.writerow([_format_field(d[h]) for h in self.headers])
         text = buf.getvalue()
         if path is not None:
             path = Path(path)
@@ -160,10 +204,48 @@ class SweepTable:
             for key in _FLOAT_FIELDS:
                 if key in record and record[key] != "":
                     record[key] = float(record[key])
+            if "seed" in record:
+                record["seed"] = _parse_seed(record["seed"])
             rows.append(GridCell.from_dict(record))
         return cls(rows)
 
     # -- rendering ---------------------------------------------------------- #
+
+    def to_markdown(self, *, title: str | None = None, columns=None) -> str:
+        """GitHub-flavored markdown table for pasting into issues/PRs.
+
+        Numbers use the same shortest-round-trip ``repr`` format as
+        :meth:`to_csv`, so values copied out of a PR comment parse back
+        exactly.  ``columns`` selects/orders the rendered columns; by
+        default, columns that are empty on every row (``graph``/``seed``
+        on single-session grids) are dropped.  Literal ``|`` characters in
+        cell text (pipeline scheme specs) are escaped.
+        """
+        if columns is None:
+            columns = [
+                h
+                for h in self.headers
+                if any(_format_field(getattr(c, h)) != "" for c in self.rows)
+            ] or list(self.headers)
+        else:
+            columns = list(columns)
+            unknown = [c for c in columns if c not in self.headers]
+            if unknown:
+                raise ValueError(f"unknown columns {unknown}; known: {self.headers}")
+
+        def md(value) -> str:
+            return _format_field(value).replace("|", "\\|")
+
+        lines = []
+        if title:
+            lines += [f"**{title}**", ""]
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join("---" for _ in columns) + "|")
+        for cell in self.rows:
+            lines.append(
+                "| " + " | ".join(md(getattr(cell, h)) for h in columns) + " |"
+            )
+        return "\n".join(lines) + "\n"
 
     def to_table(self, *, title: str | None = None) -> str:
         """Paper-style fixed-width rendering (via the report module)."""

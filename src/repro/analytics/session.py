@@ -47,6 +47,8 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro.utils.timer import timed_call
+
 from repro.algorithms.adapters import get_adapter
 from repro.algorithms.registry import BoundAlgorithm, build_algorithm
 from repro.algorithms.spec import AlgorithmSpec as DeclarativeAlgorithmSpec
@@ -71,11 +73,9 @@ __all__ = ["Session", "CompressedRun", "ScoreReport", "SweepRow", "SweepTable"]
 
 _UNSET = object()
 
-
-def _timed(fn, g):
-    start = time.perf_counter()
-    out = fn(g)
-    return out, time.perf_counter() - start
+# Shared with the sweep runner through :mod:`repro.utils.timer`; kept
+# under the historical local name for the call sites below.
+_timed = timed_call
 
 
 def _spec_label(scheme) -> str:
@@ -195,12 +195,25 @@ class _AlgorithmRun:
 
 
 class CompressedRun:
-    """A compressed graph bound to its session; the fluent handle."""
+    """A compressed graph bound to its session; the fluent handle.
 
-    def __init__(self, session: "Session", scheme: CompressionScheme, result: CompressionResult):
+    ``seed`` records the compression seed this run was produced with (the
+    session default unless :meth:`Session.compress` overrode it), so
+    results derived from the run are auditable.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        scheme: CompressionScheme,
+        result: CompressionResult,
+        *,
+        seed=None,
+    ):
         self.session = session
         self.scheme = scheme
         self.result = result
+        self.seed = seed
         self._runs: dict[str, _AlgorithmRun] = {}
         self._mapping = _UNSET
 
@@ -398,6 +411,9 @@ class SweepRow:
     metric_name: str
     metric_value: float
     scheme_spec: str = ""
+    #: The compression seed this row's cell actually ran with (recorded,
+    #: not just applied, so cached and fresh sweeps are auditable).
+    seed: object = None
 
 
 #: The paper's Fig. 5 / Table 5 battery expressed as registry names.
@@ -421,6 +437,16 @@ class Session:
         Session defaults injected into registry algorithms that omit them
         (``bfs``/``sssp`` without ``source``, ``pagerank`` without
         ``iterations``) and into the default §5 battery.
+    store:
+        A :class:`repro.runner.store.ArtifactStore` (or a path to create
+        one at) making :meth:`grid`/:meth:`sweep` persistent: cells
+        already in the store are replayed instead of recomputed, and
+        fresh cells are written back.
+    jobs:
+        Worker-process count for :meth:`grid`/:meth:`sweep`; ``jobs > 1``
+        fans grid cells out over a process pool
+        (:mod:`repro.runner.parallel`).  ``None``/``0``/``1`` stay
+        in-process.
     """
 
     def __init__(
@@ -432,6 +458,8 @@ class Session:
         num_chunks: int | None = None,
         bfs_root: int = 0,
         pr_iterations: int = 100,
+        store=None,
+        jobs: int | None = None,
     ):
         self.graph = graph
         self.seed = seed
@@ -439,6 +467,16 @@ class Session:
         self.num_chunks = num_chunks
         self.bfs_root = bfs_root
         self.pr_iterations = pr_iterations
+        if store is not None and not hasattr(store, "get_cells"):
+            from repro.runner.store import ArtifactStore
+
+            store = ArtifactStore(store)
+        self.store = store
+        self.jobs = jobs
+        #: Execution statistics of the most recent runner-backed
+        #: :meth:`grid` call ({} until one runs): cache_hits/cache_misses,
+        #: compress_seconds, wall_seconds, jobs.
+        self.last_grid_perf: dict = {}
         self._battery: list[AlgorithmSpec] | None = None
         self._battery_runner_cache: list[_Runner] | None = None
         self._baselines: dict = {}
@@ -561,7 +599,7 @@ class Session:
             )
         else:
             raise ValueError(f"via must be 'fast' or 'kernels', got {via!r}")
-        return CompressedRun(self, scheme, result)
+        return CompressedRun(self, scheme, result, seed=seed)
 
     # -- battery + sweeps -------------------------------------------------- #
 
@@ -616,6 +654,52 @@ class Session:
         SweepTable
             Long-format rows; ``.to_csv()`` / ``.to_dict()`` round-trip.
         """
+        built, runners, plans = self._grid_plan(schemes, algorithms, metrics)
+        seed = self.seed if seed is _UNSET else seed
+
+        if self.store is not None or (self.jobs or 1) > 1:
+            if via != "fast":
+                raise ValueError(
+                    "store-backed / parallel grids support via='fast' only"
+                )
+            from repro.runner.parallel import run_grid
+
+            cells, perf = run_grid(self, built, runners, plans, seed=seed)
+            self.last_grid_perf = perf
+            return SweepTable(cells)
+
+        from repro.utils.timer import stopwatch
+
+        cells: list[GridCell] = []
+        groups = 0
+        compress_seconds = 0.0
+        with stopwatch() as wall:
+            for scheme in built:
+                run, elapsed = _timed(self.compress, scheme, seed=seed, via=via)
+                compress_seconds += elapsed
+                for runner, plan in zip(runners, plans):
+                    if plan:
+                        groups += 1
+                    cells.extend(self._score_cells(run, runner, plan, seed=seed))
+        self.last_grid_perf = {
+            "jobs": 1,
+            "cells_scheduled": groups,
+            "cache_hits": 0,
+            "cache_misses": groups,
+            "compress_seconds": compress_seconds,
+            "wall_seconds": wall.seconds,
+        }
+        return SweepTable(cells)
+
+    def _grid_plan(self, schemes, algorithms, metrics):
+        """Resolve and deduplicate the three grid axes.
+
+        Returns ``(built_schemes, runners, plans)`` where ``plans[i]`` is
+        the (possibly empty) metric list for ``runners[i]``; shared by the
+        in-memory loop above and the store/parallel executor in
+        :mod:`repro.runner.parallel` so both paths evaluate the identical
+        cell set.
+        """
         built: list[CompressionScheme] = []
         for s in schemes:
             scheme = build_scheme(s)
@@ -656,36 +740,64 @@ class Session:
                 raise ValueError(
                     f"metrics {unmatched} apply to no algorithm in this grid"
                 )
+        return built, runners, plans
 
-        cells: list[GridCell] = []
-        for scheme in built:
-            run = self.compress(scheme, seed=seed, via=via)
-            ctx = run._context()
-            scheme_label = _spec_label(scheme)
-            for runner, plan in zip(runners, plans):
-                if not plan:
-                    continue
-                if runner.execute:
-                    out0, t0 = self.baseline(runner)
-                    out1, t1 = _timed(runner.fn, run.graph)
-                else:
-                    out0 = out1 = None
-                    t0 = t1 = 0.0
-                arun = _AlgorithmRun(runner, out0, t0, out1, t1)
-                for entry in plan:
-                    cells.append(
-                        GridCell(
-                            scheme=scheme_label,
-                            algorithm=runner.label,
-                            metric=entry.name,
-                            value=run._metric_value(entry, arun, ctx),
-                            compression_ratio=run.compression_ratio,
-                            original_seconds=t0,
-                            compressed_seconds=t1,
-                            adapter=runner.adapter.name,
-                        )
+    def score_cells(
+        self, run: CompressedRun, algorithm, metrics: Sequence[str] | None = None
+    ) -> list[GridCell]:
+        """Score one algorithm on an existing compressed run as grid cells.
+
+        The unit of work behind :meth:`grid` — one compressed graph, one
+        algorithm (any :meth:`run` surface), one cell per metric
+        (``None`` = the adapter's §5 default).  Baselines come from the
+        session cache; the runner workers execute exactly this method, so
+        parallel/store-backed grids are cell-for-cell identical to
+        in-memory ones.
+        """
+        runner = self._as_runner(algorithm)
+        if metrics is None:
+            plan = [resolve_metric(runner.adapter.default_metric)]
+        else:
+            plan = [resolve_metric(m) for m in metrics]
+            for entry in plan:
+                if runner.adapter.name not in entry.adapters:
+                    raise ValueError(
+                        f"metric {entry.name!r} does not apply to "
+                        f"{runner.label!r} ({runner.adapter.name} output); "
+                        f"compatible: "
+                        f"{', '.join(compatible_names(runner.adapter.name))}"
                     )
-        return SweepTable(cells)
+        return self._score_cells(run, runner, plan, seed=run.seed)
+
+    def _score_cells(
+        self, run: CompressedRun, runner: _Runner, plan, *, seed=None
+    ) -> list[GridCell]:
+        """One grid row group: execute ``runner`` on ``run``, score ``plan``."""
+        if not plan:
+            return []
+        ctx = run._context()
+        scheme_label = _spec_label(run.scheme)
+        if runner.execute:
+            out0, t0 = self.baseline(runner)
+            out1, t1 = _timed(runner.fn, run.graph)
+        else:
+            out0 = out1 = None
+            t0 = t1 = 0.0
+        arun = _AlgorithmRun(runner, out0, t0, out1, t1)
+        return [
+            GridCell(
+                scheme=scheme_label,
+                algorithm=runner.label,
+                metric=entry.name,
+                value=run._metric_value(entry, arun, ctx),
+                compression_ratio=run.compression_ratio,
+                original_seconds=t0,
+                compressed_seconds=t1,
+                adapter=runner.adapter.name,
+                seed=seed,
+            )
+            for entry in plan
+        ]
 
     def sweep(
         self,
@@ -718,15 +830,19 @@ class Session:
                 for index, scheme in enumerate(built)
             ]
         base_seed = self.seed if seed is _UNSET else seed
+        if self.store is not None or (self.jobs or 1) > 1:
+            return self._sweep_via_grid(
+                built, parameters, algorithms, base_seed, repeats
+            )
         rows: list[SweepRow] = []
         # Cache evaluation outcomes per scheme (params-driven eq/hash), so
         # duplicate schemes are executed once but every (scheme, parameter)
         # pair still gets its own correctly-labeled rows.
-        seen: dict[CompressionScheme, tuple[float, list[EvaluationRecord]]] = {}
+        seen: dict[CompressionScheme, tuple[float, list]] = {}
         for scheme, parameter in zip(built, parameters):
             cached = seen.get(scheme)
             if cached is None:
-                best: dict[str, EvaluationRecord] = {}
+                best: dict[str, tuple[EvaluationRecord, object]] = {}
                 ratio = 1.0
                 for r in range(repeats):
                     cell_seed = base_seed + r if isinstance(base_seed, int) else base_seed
@@ -740,8 +856,8 @@ class Session:
                     )
                     for rec in records:
                         prev = best.get(rec.algorithm)
-                        if prev is None or rec.compressed_seconds < prev.compressed_seconds:
-                            best[rec.algorithm] = rec
+                        if prev is None or rec.compressed_seconds < prev[0].compressed_seconds:
+                            best[rec.algorithm] = (rec, cell_seed)
                 cached = (ratio, list(best.values()))
                 seen[scheme] = cached
             ratio, best_records = cached
@@ -754,8 +870,58 @@ class Session:
                     metric_name=rec.metric_name,
                     metric_value=rec.metric_value,
                     scheme_spec=_spec_label(scheme),
+                    seed=rec_seed,
                 )
-                for rec in best_records
+                for rec, rec_seed in best_records
+            )
+        return rows
+
+    #: The §5 battery as the sweep's registry spellings (the grid default
+    #: plus the per-vertex triangle vector the battery also scores).
+    _SWEEP_BATTERY = ("bfs", "pr", "cc", "tc", "tc_per_vertex")
+
+    def _sweep_via_grid(
+        self, built, parameters, algorithms, base_seed, repeats: int
+    ) -> list[SweepRow]:
+        """Store/parallel-backed :meth:`sweep`: battery rows via the runner.
+
+        Each repeat is one runner-backed grid over the (deduplicated)
+        schemes; per (scheme, algorithm) the best-timed repeat wins,
+        mirroring the in-memory path.  Rows carry the seed of the winning
+        repeat, so a warm store replays them byte-identically.
+        """
+        unique: list[CompressionScheme] = []
+        for scheme in built:
+            if scheme not in unique:
+                unique.append(scheme)
+        surfaces = (
+            list(algorithms) if algorithms is not None else list(self._SWEEP_BATTERY)
+        )
+        by_label = {_spec_label(s): s for s in unique}
+        best: dict[CompressionScheme, dict[str, GridCell]] = {s: {} for s in unique}
+        ratios: dict[CompressionScheme, float] = {}
+        for r in range(repeats):
+            cell_seed = base_seed + r if isinstance(base_seed, int) else base_seed
+            for cell in self.grid(unique, surfaces, seed=cell_seed):
+                scheme = by_label[cell.scheme]
+                prev = best[scheme].get(cell.algorithm)
+                if prev is None or cell.compressed_seconds < prev.compressed_seconds:
+                    best[scheme][cell.algorithm] = cell
+                ratios[scheme] = cell.compression_ratio
+        rows: list[SweepRow] = []
+        for scheme, parameter in zip(built, parameters):
+            rows.extend(
+                SweepRow(
+                    parameter=parameter,
+                    algorithm=cell.algorithm,
+                    compression_ratio=ratios[scheme],
+                    relative_runtime_difference=cell.relative_runtime_difference,
+                    metric_name=cell.metric,
+                    metric_value=cell.value,
+                    scheme_spec=_spec_label(scheme),
+                    seed=cell.seed,
+                )
+                for cell in best[scheme].values()
             )
         return rows
 

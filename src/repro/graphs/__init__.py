@@ -12,8 +12,11 @@ from repro.graphs.weights import (
     with_unit_weights,
 )
 from repro.graphs import edgelist
+from repro.graphs.snapshot import load_snapshot, save_snapshot
 
 __all__ = [
+    "load_snapshot",
+    "save_snapshot",
     "CSRGraph",
     "GraphBuilder",
     "generators",

@@ -203,6 +203,44 @@ class CSRGraph:
         z = np.empty(0, dtype=np.int64)
         return cls(num_vertices, z, z, None, directed=directed)
 
+    @classmethod
+    def _from_parts(
+        cls,
+        num_vertices: int,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_weights: np.ndarray | None,
+        *,
+        directed: bool,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        arc_edge_ids: np.ndarray,
+    ) -> "CSRGraph":
+        """Reassemble a graph from already-built CSR arrays, skipping both
+        validation and :meth:`_build_csr` (the ``lexsort``).
+
+        Only for trusted producers — the binary snapshot loader
+        (:mod:`repro.graphs.snapshot`), which persisted arrays taken from
+        a live ``CSRGraph``.  Callers with unvetted arrays must go through
+        the constructor or :meth:`from_edges`.
+        """
+        g = object.__new__(cls)
+        g.n = int(num_vertices)
+        g.edge_src = np.ascontiguousarray(edge_src, dtype=np.int64)
+        g.edge_dst = np.ascontiguousarray(edge_dst, dtype=np.int64)
+        g.edge_weights = (
+            None
+            if edge_weights is None
+            else np.ascontiguousarray(edge_weights, dtype=np.float64)
+        )
+        g.directed = bool(directed)
+        g.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        g.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        g.arc_edge_ids = np.ascontiguousarray(arc_edge_ids, dtype=np.int64)
+        g._degrees = None
+        g._in_degrees = None
+        return g
+
     # ------------------------------------------------------------------ #
     # basic queries
     # ------------------------------------------------------------------ #

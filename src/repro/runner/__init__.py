@@ -1,0 +1,52 @@
+"""The sweep runner: persistent, parallel, resumable grid execution.
+
+The paper's headline numbers come from large scheme × algorithm × metric
+sweeps; this subsystem is the execution layer that makes those sweeps
+cheap to repeat:
+
+- :mod:`repro.runner.store` — a content-addressed on-disk artifact store
+  (atomic writes, versioned schema, corruption-tolerant reads) keyed by
+  (graph fingerprint, canonical scheme JSON, seed, canonical algorithm
+  JSON, metrics);
+- :mod:`repro.runner.fingerprint` — content hashes of CSR graphs (paired
+  with the binary snapshots in :mod:`repro.graphs.snapshot`);
+- :mod:`repro.runner.parallel` — the store-aware executor fanning grid
+  cells across a process pool with per-worker baseline/compression
+  deduplication;
+- :mod:`repro.runner.harness` — named sweeps (``fig5``, ``table5``,
+  ``smoke``, yours via :func:`~repro.runner.harness.register_sweep`),
+  resumable runs, and ``BENCH_*.json`` perf records.
+
+Sessions opt in with ``Session(graph, store=..., jobs=N)``; the CLI is
+``python -m repro.runner <sweep> [--store DIR] [--jobs N]``.
+"""
+
+from repro.runner.fingerprint import graph_fingerprint
+from repro.runner.harness import (
+    SweepResult,
+    SweepSpec,
+    available_sweeps,
+    get_sweep,
+    register_sweep,
+    run_sweep,
+    write_bench_record,
+)
+from repro.runner.parallel import CellTask, run_grid
+from repro.runner.store import SCHEMA_VERSION, ArtifactStore, CellKey, StoreStats
+
+__all__ = [
+    "ArtifactStore",
+    "CellKey",
+    "CellTask",
+    "StoreStats",
+    "SCHEMA_VERSION",
+    "SweepResult",
+    "SweepSpec",
+    "available_sweeps",
+    "get_sweep",
+    "graph_fingerprint",
+    "register_sweep",
+    "run_grid",
+    "run_sweep",
+    "write_bench_record",
+]

@@ -1,0 +1,270 @@
+"""Parallel, store-aware execution of grid sweeps.
+
+:func:`run_grid` is the engine behind ``Session(store=…, jobs=N).grid``:
+it takes the session's already-resolved grid plan (schemes × algorithm
+runners × metric plans), turns it into one **task per (scheme, seed,
+algorithm) cell group**, and executes the tasks
+
+- against the artifact store first — cells already stored are replayed
+  with zero recomputation,
+- then in-process (``jobs <= 1``) or fanned out over a
+  ``ProcessPoolExecutor`` (``jobs > 1``), streaming completed cells back
+  as workers finish and writing each straight into the store.
+
+Worker processes never receive the graph over the pipe: the parent
+snapshots it once (:mod:`repro.graphs.snapshot` — into the store keyed by
+fingerprint, or a temp directory when no store is configured) and each
+worker loads the snapshot in its initializer.  Every worker keeps its own
+:class:`~repro.analytics.session.Session`, so original-graph baselines
+are computed at most once per algorithm per worker and compressions at
+most once per (scheme, seed) per worker — the same deduplication the
+in-memory session performs, sharded over the pool.
+
+Results are bit-compatible with the sequential in-memory path: workers
+execute the very same ``Session._score_cells`` code on the very same
+inputs, and the parent reassembles cells in deterministic plan order, so
+a parallel, store-backed grid equals the single-process one on a fixed
+seed (metric values, ratios, labels; wall times naturally vary).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.algorithms.spec import AlgorithmSpec
+from repro.analytics.grid import GridCell
+from repro.metrics.registry import resolve_metric
+from repro.utils.timer import stopwatch, timed_call
+
+__all__ = ["run_grid", "CellTask"]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One unit of sweep work: algorithm × (scheme, seed) compression."""
+
+    scheme: str
+    seed: object
+    algorithm: str
+    metrics: tuple[str, ...]
+    scheme_index: int
+    runner_index: int
+
+    def transport(self) -> dict:
+        """Picklable form sent to workers (and echoed back for routing)."""
+        return {
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "metrics": self.metrics,
+            "scheme_index": self.scheme_index,
+            "runner_index": self.runner_index,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# worker side
+# ---------------------------------------------------------------------- #
+
+#: Per-process state: the reloaded graph's session plus compression cache.
+_WORKER: dict = {}
+
+
+def _init_worker(snapshot_path: str, session_kwargs: dict) -> None:
+    from repro.analytics.session import Session
+    from repro.graphs.snapshot import load_snapshot
+
+    graph = load_snapshot(snapshot_path)
+    _WORKER["session"] = Session(graph, **session_kwargs)
+    _WORKER["runs"] = {}
+
+
+def _worker_cell(task: dict) -> tuple[dict, list[dict], dict]:
+    cells, perf = _compute_cell(_WORKER["session"], _WORKER["runs"], task)
+    return task, cells, perf
+
+
+def _compute_cell(session, runs: dict, task: dict) -> tuple[list[dict], dict]:
+    """Execute one task against ``session`` (worker or parent process).
+
+    ``runs`` holds the current (scheme, seed) compression so consecutive
+    same-scheme tasks share it; it is evicted on scheme change, bounding
+    peak memory to one compressed graph per process (tasks are submitted
+    scheme-major, so in practice each compression still runs once).
+    Baselines dedupe through the session's own cache.
+    """
+    run_key = (task["scheme"], task["seed"])
+    cached = runs.get(run_key)
+    compress_seconds = 0.0
+    if cached is None:
+        runs.clear()
+        cached, compress_seconds = timed_call(
+            session.compress, task["scheme"], seed=task["seed"]
+        )
+        runs[run_key] = cached
+    runner = session._as_runner(task["algorithm"])
+    plan = [resolve_metric(m) for m in task["metrics"]]
+    with stopwatch() as sw:
+        cells = session._score_cells(cached, runner, plan, seed=task["seed"])
+    perf = {"compress_seconds": compress_seconds, "cell_seconds": sw.seconds}
+    return [c.to_dict() for c in cells], perf
+
+
+# ---------------------------------------------------------------------- #
+# parent side
+# ---------------------------------------------------------------------- #
+
+
+def _make_tasks(session, built, runners, plans, seed) -> list[CellTask]:
+    tasks: list[CellTask] = []
+    from repro.analytics.session import _spec_label
+
+    for si, scheme in enumerate(built):
+        scheme_str = _spec_label(scheme)
+        for ri, (runner, plan) in enumerate(zip(runners, plans)):
+            if not plan:
+                continue
+            if not isinstance(runner.key, AlgorithmSpec):
+                raise ValueError(
+                    f"store-backed/parallel grids require registry "
+                    f"algorithms; {runner.label!r} is a legacy executable "
+                    "spec or bare callable (register it with "
+                    "@register_algorithm)"
+                )
+            tasks.append(
+                CellTask(
+                    scheme=scheme_str,
+                    seed=seed,
+                    algorithm=runner.key.to_string(),
+                    metrics=tuple(entry.name for entry in plan),
+                    scheme_index=si,
+                    runner_index=ri,
+                )
+            )
+    return tasks
+
+
+def run_grid(session, built, runners, plans, *, seed):
+    """Execute a resolved grid plan with store replay and/or a pool.
+
+    Returns ``(cells, perf)`` where ``cells`` is in the same deterministic
+    (scheme-major, then algorithm, then metric) order the in-memory path
+    produces, and ``perf`` reports cache hits/misses, compression time,
+    and wall time for this call.
+    """
+    store = session.store
+    jobs = session.jobs or 1
+    with stopwatch() as wall:
+        tasks = _make_tasks(session, built, runners, plans, seed)
+
+        fingerprint = None
+        if store is not None:
+            from repro.runner.fingerprint import graph_fingerprint
+
+            fingerprint = graph_fingerprint(session.graph)
+
+        results: dict[tuple[int, int], list[dict]] = {}
+        perf = {
+            "jobs": jobs,
+            "cells_scheduled": len(tasks),
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "compress_seconds": 0.0,
+        }
+        pending: list[CellTask] = []
+        for task in tasks:
+            payload = None
+            if store is not None:
+                key = store.cell_key(
+                    fingerprint, task.scheme, task.seed, task.algorithm, task.metrics
+                )
+                payload = store.get_cells(key)
+            if payload is not None:
+                results[(task.scheme_index, task.runner_index)] = payload["cells"]
+                perf["cache_hits"] += 1
+            else:
+                pending.append(task)
+                perf["cache_misses"] += 1
+
+        def harvest(task: CellTask, cells: list[dict], cell_perf: dict) -> None:
+            results[(task.scheme_index, task.runner_index)] = cells
+            perf["compress_seconds"] += cell_perf.get("compress_seconds", 0.0)
+            if store is not None:
+                key = store.cell_key(
+                    fingerprint, task.scheme, task.seed, task.algorithm, task.metrics
+                )
+                store.put_cells(key, {"cells": cells, "perf": cell_perf})
+
+        if pending and jobs > 1:
+            _run_pool(session, store, fingerprint, pending, jobs, harvest)
+        elif pending:
+            # In-process: reuse the parent session so its baseline cache
+            # keeps paying off across grids; compressions cached per call.
+            runs: dict = {}
+            for task in pending:
+                cells, cell_perf = _compute_cell(session, runs, task.transport())
+                harvest(task, cells, cell_perf)
+
+        cells = _assemble(tasks, runners, results)
+    perf["wall_seconds"] = wall.seconds
+    if store is not None:
+        perf["store_stats"] = store.stats.snapshot()
+    return cells, perf
+
+
+def _run_pool(session, store, fingerprint, pending, jobs, harvest) -> None:
+    """Fan ``pending`` tasks over a process pool, streaming results back."""
+    tmpdir = None
+    if store is not None:
+        _, snapshot_path = store.add_graph(session.graph, fingerprint)
+    else:
+        from repro.graphs.snapshot import save_snapshot
+
+        tmpdir = tempfile.mkdtemp(prefix="repro-grid-")
+        snapshot_path = save_snapshot(session.graph, Path(tmpdir) / "graph.npz")
+    session_kwargs = {
+        "seed": session.seed,
+        "backend": session.backend,
+        "num_chunks": session.num_chunks,
+        "bfs_root": session.bfs_root,
+        "pr_iterations": session.pr_iterations,
+    }
+    by_routing = {(t.scheme_index, t.runner_index): t for t in pending}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(str(snapshot_path), session_kwargs),
+        ) as pool:
+            futures = [pool.submit(_worker_cell, t.transport()) for t in pending]
+            for future in as_completed(futures):
+                task_dict, cells, cell_perf = future.result()
+                task = by_routing[
+                    (task_dict["scheme_index"], task_dict["runner_index"])
+                ]
+                harvest(task, cells, cell_perf)
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def _assemble(tasks, runners, results) -> list[GridCell]:
+    """Cells in plan order, labeled like the in-memory path.
+
+    Stored payloads carry the canonical bound algorithm label; the session
+    may have requested the cell under a battery short name (``"pr"``), so
+    the display label is rewritten to this call's surface.
+    """
+    cells: list[GridCell] = []
+    for task in tasks:
+        label = runners[task.runner_index].label
+        for data in results[(task.scheme_index, task.runner_index)]:
+            cell = GridCell.from_dict(data)
+            if cell.algorithm != label or cell.seed != task.seed:
+                cell = replace(cell, algorithm=label, seed=task.seed)
+            cells.append(cell)
+    return cells

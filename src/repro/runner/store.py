@@ -1,0 +1,329 @@
+"""Content-addressed on-disk artifact store for sweep cells.
+
+The unit of storage is one **grid cell group**: everything produced by
+running one algorithm on one ``(graph, scheme, seed)`` compression and
+scoring it with one metric list.  The key is the content of those inputs —
+
+- the graph **fingerprint** (:func:`repro.runner.fingerprint.
+  graph_fingerprint` — content, not filename),
+- the canonical :class:`~repro.compress.spec.SchemeSpec` JSON,
+- the compression **seed**,
+- the canonical :class:`~repro.algorithms.spec.AlgorithmSpec` JSON,
+- the resolved metric names
+
+— hashed to a SHA-256 digest that names the record file.  Because PRs 1–2
+made scheme and algorithm specs canonically serializable (aliases
+resolved, parameters type-preserved, equal configs equal strings), two
+spellings of the same cell always share one record.
+
+Durability discipline:
+
+- **atomic writes** — records are written to a temp file in the target
+  directory and ``os.replace``d into place, so a crash mid-write leaves
+  either the old record or none;
+- **corruption-tolerant reads** — a truncated/garbled record (e.g. a
+  crash while an older non-atomic writer ran, or disk damage) is a cache
+  *miss*, never an exception; the next ``put`` overwrites it;
+- **versioned schema** — every record embeds ``schema_version``; records
+  written under a different version are treated as misses, so upgrading
+  the cell format safely invalidates stale caches in place.
+
+Payloads are JSON (`cells` + perf counters); bulky numeric artifacts ride
+in an optional ``.npz`` sidecar keyed by the same digest.  Graph
+snapshots (:mod:`repro.graphs.snapshot`) live under ``graphs/`` keyed by
+fingerprint, which is how parallel workers reload the input graph without
+re-parsing edge lists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.spec import AlgorithmSpec
+from repro.compress.spec import SchemeSpec
+from repro.graphs.csr import CSRGraph
+from repro.graphs.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.utils.fileio import atomic_write
+
+__all__ = ["SCHEMA_VERSION", "ArtifactStore", "CellKey", "StoreStats"]
+
+#: Version of the cell-record layout; bump to invalidate existing stores.
+SCHEMA_VERSION = 1
+
+
+def _canonical_json(value) -> str:
+    """Deterministic JSON — the store's hashing/equality normal form."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _scheme_json(scheme) -> str:
+    """Canonical SchemeSpec JSON of any scheme surface."""
+    if isinstance(scheme, SchemeSpec):
+        spec = scheme
+    elif isinstance(scheme, str):
+        spec = SchemeSpec.parse(scheme)
+    elif hasattr(scheme, "spec"):
+        spec = scheme.spec()
+    else:
+        raise TypeError(f"cannot key scheme surface {scheme!r}")
+    return _canonical_json(spec.to_dict())
+
+
+def _algorithm_json(algorithm) -> str:
+    """Canonical AlgorithmSpec JSON of a declarative algorithm surface."""
+    if isinstance(algorithm, AlgorithmSpec):
+        spec = algorithm
+    elif isinstance(algorithm, str):
+        spec = AlgorithmSpec.parse(algorithm)
+    elif hasattr(algorithm, "spec") and isinstance(algorithm.spec, AlgorithmSpec):
+        spec = algorithm.spec
+    else:
+        raise TypeError(
+            f"cannot key algorithm surface {algorithm!r}; the store needs "
+            "declarative (registry) algorithms, not bare callables"
+        )
+    return _canonical_json(spec.to_dict())
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """The content identity of one stored cell group."""
+
+    graph: str
+    scheme: str
+    seed: object
+    algorithm: str
+    metrics: tuple[str, ...] = ()
+
+    @property
+    def digest(self) -> str:
+        """Hex SHA-256 of the canonical key JSON; names the record file."""
+        return hashlib.sha256(
+            _canonical_json(self.to_dict()).encode()
+        ).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "graph": self.graph,
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "metrics": list(self.metrics),
+        }
+
+
+@dataclass
+class StoreStats:
+    """Observable cache behavior of one :class:`ArtifactStore` instance.
+
+    ``hits``/``misses`` count :meth:`ArtifactStore.get_cells` outcomes;
+    ``corrupt`` counts reads that found an unreadable record (a subset of
+    misses), ``invalidated`` reads rejected by schema version (also
+    misses); ``writes`` counts stored records.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    invalidated: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "invalidated": self.invalidated,
+        }
+
+
+class ArtifactStore:
+    """A persistent, content-addressed store of sweep artifacts.
+
+    Layout under ``root`` (created on first write)::
+
+        cells/<d0d1>/<digest>.json   one record per cell group
+        arrays/<d0d1>/<digest>.npz   optional numeric sidecars
+        graphs/<fingerprint>.npz     binary CSR snapshots
+
+    The two-hex-digit shard directories keep any single directory small
+    for large sweeps.  All methods are safe against concurrent writers of
+    the *same* key (last atomic replace wins; both wrote equal content).
+    """
+
+    SCHEMA_VERSION = SCHEMA_VERSION
+
+    def __init__(self, root, *, schema_version: int | None = None):
+        self.root = Path(root)
+        self.schema_version = (
+            SCHEMA_VERSION if schema_version is None else int(schema_version)
+        )
+        self.stats = StoreStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactStore({str(self.root)!r}, cells={len(self)}, "
+            f"schema_version={self.schema_version})"
+        )
+
+    # -- keying ------------------------------------------------------------- #
+
+    def cell_key(
+        self, graph_fingerprint: str, scheme, seed, algorithm, metrics=()
+    ) -> CellKey:
+        """Build the content key for one cell group.
+
+        ``scheme``/``algorithm`` accept spec strings, spec objects, or
+        configured scheme/bound-algorithm objects; all spellings of one
+        configuration key identically.
+        """
+        return CellKey(
+            graph=str(graph_fingerprint),
+            scheme=_scheme_json(scheme),
+            seed=seed,
+            algorithm=_algorithm_json(algorithm),
+            metrics=tuple(metrics),
+        )
+
+    # -- paths -------------------------------------------------------------- #
+
+    def _record_path(self, key: CellKey) -> Path:
+        d = key.digest
+        return self.root / "cells" / d[:2] / f"{d}.json"
+
+    def _array_path(self, key: CellKey) -> Path:
+        d = key.digest
+        return self.root / "arrays" / d[:2] / f"{d}.npz"
+
+    # -- cell records ------------------------------------------------------- #
+
+    def get_cells(self, key: CellKey) -> dict | None:
+        """The stored payload for ``key``, or ``None`` (a miss).
+
+        Misses cover: no record, unreadable/truncated record, schema
+        version mismatch, and (paranoia against digest collisions) a
+        record whose embedded key differs from ``key``.
+        """
+        path = self._record_path(key)
+        try:
+            record = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("schema_version") != self.schema_version
+        ):
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        if record.get("key") != key.to_dict() or "payload" not in record:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record["payload"]
+
+    def put_cells(self, key: CellKey, payload: dict, arrays=None) -> None:
+        """Store ``payload`` (JSON-safe) under ``key``, atomically.
+
+        ``arrays`` (a ``{name: ndarray}`` mapping) lands in the ``.npz``
+        sidecar, written *before* the record so a reader that sees the
+        record always finds its arrays.
+        """
+        record = {
+            "schema_version": self.schema_version,
+            "key": key.to_dict(),
+            "payload": payload,
+        }
+        if arrays:
+            atomic_write(
+                self._array_path(key),
+                lambda fh: np.savez(fh, **{k: np.asarray(v) for k, v in arrays.items()}),
+            )
+        atomic_write(
+            self._record_path(key),
+            lambda fh: fh.write(json.dumps(record, sort_keys=True).encode()),
+        )
+        self.stats.writes += 1
+
+    def load_arrays(self, key: CellKey) -> dict | None:
+        """The ``.npz`` sidecar of ``key`` as ``{name: ndarray}``, or None."""
+        path = self._array_path(key)
+        try:
+            with np.load(path) as data:
+                return {name: data[name] for name in data.files}
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile):
+            return None
+
+    def __contains__(self, key: CellKey) -> bool:
+        return self._record_path(key).exists()
+
+    def __len__(self) -> int:
+        cells = self.root / "cells"
+        if not cells.is_dir():
+            return 0
+        return sum(1 for _ in cells.glob("*/*.json"))
+
+    # -- graph snapshots ---------------------------------------------------- #
+
+    def graph_path(self, fingerprint: str) -> Path | None:
+        """Path of the stored snapshot for ``fingerprint``, if present."""
+        path = self.root / "graphs" / f"{fingerprint}.npz"
+        return path if path.exists() else None
+
+    def add_graph(self, g: CSRGraph, fingerprint: str | None = None) -> tuple[str, Path]:
+        """Snapshot ``g`` into the store (idempotent); (fingerprint, path).
+
+        An existing snapshot is reused only if it still opens as the
+        current snapshot version — a damaged or stale file is rewritten,
+        keeping the store's damage-is-a-miss contract (workers would
+        otherwise crash loading it)."""
+        if fingerprint is None:
+            from repro.runner.fingerprint import graph_fingerprint
+
+            fingerprint = graph_fingerprint(g)
+        path = self.root / "graphs" / f"{fingerprint}.npz"
+        if not _snapshot_readable(path):
+            save_snapshot(g, path)
+        return fingerprint, path
+
+    def load_graph(self, fingerprint: str) -> CSRGraph | None:
+        """Reload a stored graph snapshot; damaged snapshots read as None."""
+        path = self.graph_path(fingerprint)
+        if path is None:
+            return None
+        try:
+            return load_snapshot(path)
+        except SnapshotError:
+            return None
+
+
+def _snapshot_readable(path: Path) -> bool:
+    """Cheap open-and-version probe of a snapshot file.
+
+    ``np.load`` on an npz is lazy, so this reads the archive directory
+    plus the one-element version array — it catches truncation and
+    foreign/old files without pulling the edge arrays into memory.
+    """
+    try:
+        with np.load(path) as data:
+            return int(data["version"]) == SNAPSHOT_VERSION
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        return False

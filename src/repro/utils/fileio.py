@@ -1,0 +1,40 @@
+"""Atomic file writes shared by every on-disk artifact producer.
+
+The artifact store and the graph snapshotter both promise that a reader
+never observes a half-written file: content goes to a temp file in the
+target directory (same filesystem, so the final rename cannot cross a
+device boundary) and is moved into place with ``os.replace``.  A crash
+mid-write leaves either the previous file or an orphaned ``*.tmp`` that
+the next write ignores.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["atomic_write"]
+
+
+def atomic_write(path, write: Callable) -> Path:
+    """Run ``write(fh)`` against a temp file, then rename onto ``path``.
+
+    ``fh`` is a binary-mode file object.  Parent directories are created.
+    On any failure the temp file is removed and the target is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -156,6 +156,39 @@ class TestGrid:
         assert len(table) == 1
         assert session.baseline_computations == 1
 
+    def test_to_markdown_round_trip_safe_floats(self, plc300):
+        table = Session(plc300, seed=0).grid(SCHEMES3, ["pr", "cc"])
+        md = table.to_markdown(title="grid")
+        lines = md.strip().splitlines()
+        assert lines[0] == "**grid**"
+        assert lines[2].startswith("| scheme |")
+        assert set(lines[3].replace("|", "")) <= {"-"}
+        # Values printed in markdown parse back to the exact float — the
+        # same repr format to_csv uses.
+        body = lines[4:]
+        assert len(body) == len(table)
+        value_col = lines[2].strip("|").split("|").index(" value ")
+        for line, cell in zip(body, table):
+            printed = line.strip("|").split("|")[value_col].strip()
+            assert float(printed) == cell.value
+        # to_csv shares the format: the same strings appear there.
+        assert repr(table.rows[0].value) in table.to_csv()
+
+    def test_to_markdown_escapes_pipes_and_drops_empty_columns(self, plc300):
+        table = Session(plc300, seed=0).grid(
+            ["uniform(p=0.9) | spanner(k=4)"], ["cc"]
+        )
+        md = table.to_markdown()
+        # The pipeline scheme's "|" must not break the table grammar.
+        assert "uniform(p=0.9) \\| spanner" in md
+        header = md.splitlines()[0]
+        assert "graph" not in header  # all-empty column dropped
+        assert "seed" in header  # seeds are recorded
+        with pytest.raises(ValueError, match="unknown columns"):
+            table.to_markdown(columns=["scheme", "nope"])
+        narrow = table.to_markdown(columns=["scheme", "value"])
+        assert narrow.splitlines()[0] == "| scheme | value |"
+
     def test_cell_fields_serializable(self, plc300):
         cell = Session(plc300, seed=0).grid(["uniform(p=0.5)"], ["cc"]).rows[0]
         assert isinstance(cell, GridCell)

@@ -1,0 +1,152 @@
+"""Tests for the named-sweep harness, resumable BENCH records, and the
+``python -m repro.runner`` CLI."""
+
+import json
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.runner.harness import (
+    SweepSpec,
+    available_sweeps,
+    get_sweep,
+    register_sweep,
+    run_sweep,
+    write_bench_record,
+)
+from repro.runner.store import ArtifactStore
+
+
+@pytest.fixture
+def tiny_sweep() -> SweepSpec:
+    return SweepSpec(
+        name="tiny_test",
+        graphs=("a", "b"),
+        schemes=("uniform(p=0.5)", "spanner(k=4)"),
+        algorithms=("pr", "cc"),
+        seeds=(0, 1),
+        pr_iterations=20,
+    )
+
+
+@pytest.fixture
+def loader():
+    graphs = {
+        "a": gen.powerlaw_cluster(120, 4, 0.5, seed=1),
+        "b": gen.erdos_renyi(150, m=450, seed=2),
+    }
+    return graphs.__getitem__
+
+
+def _values(table):
+    return [
+        (c.graph, c.scheme, c.algorithm, c.metric, c.seed, c.value,
+         c.compression_ratio)
+        for c in table
+    ]
+
+
+class TestRunSweep:
+    def test_spans_graphs_and_seeds(self, tiny_sweep, loader):
+        result = run_sweep(tiny_sweep, graph_loader=loader)
+        # 2 graphs x 2 schemes x 2 algorithms x 2 seeds, default metrics.
+        assert len(result.table) == 16
+        assert result.table.graphs() == ["a", "b"]
+        assert {c.seed for c in result.table} == {0, 1}
+        assert result.perf["cells"] == 16
+        assert result.perf["cache_misses"] == 16
+        assert result.perf["wall_seconds"] > 0
+
+    def test_warm_store_run_is_pure_replay(self, tiny_sweep, loader, tmp_path):
+        cold = run_sweep(tiny_sweep, graph_loader=loader, store=tmp_path / "store")
+        assert cold.perf["cache_misses"] == 16
+        warm = run_sweep(tiny_sweep, graph_loader=loader, store=tmp_path / "store")
+        # The acceptance criterion: a re-run against a warm store performs
+        # zero recomputation — every cell group is a hit.
+        assert warm.perf["cache_misses"] == 0
+        assert warm.perf["cache_hits"] == 16
+        assert warm.perf["compress_seconds"] == 0.0
+        assert _values(warm.table) == _values(cold.table)
+
+    def test_interrupted_sweep_resumes(self, tiny_sweep, loader, tmp_path):
+        from dataclasses import replace
+
+        store_path = tmp_path / "store"
+        # "Interrupted" run: only the first seed completed.
+        run_sweep(replace(tiny_sweep, seeds=(0,)), graph_loader=loader, store=store_path)
+        resumed = run_sweep(tiny_sweep, graph_loader=loader, store=store_path)
+        assert resumed.perf["cache_hits"] == 8
+        assert resumed.perf["cache_misses"] == 8
+
+    def test_axis_overrides(self, tiny_sweep, loader):
+        result = run_sweep(tiny_sweep, graph_loader=loader, seeds=[7], graphs=["a"])
+        assert result.perf["seeds"] == [7]
+        assert result.table.graphs() == ["a"]
+        assert len(result.table) == 4
+
+    def test_bench_record_written(self, tiny_sweep, loader, tmp_path):
+        result = run_sweep(tiny_sweep, graph_loader=loader, store=tmp_path / "s")
+        path = write_bench_record(result, tmp_path / "out")
+        assert path.name == "BENCH_tiny_test.json"
+        record = json.loads(path.read_text())
+        assert record["schema_version"] == 1
+        assert record["sweep"] == "tiny_test"
+        assert record["cells"] == 16
+        assert {"cache_hits", "cache_misses", "compress_seconds",
+                "wall_seconds", "grids", "store_stats"} <= set(record)
+
+
+class TestRegistry:
+    def test_builtin_sweeps_registered(self):
+        assert {"smoke", "fig5", "table5"} <= set(available_sweeps())
+        assert get_sweep("table5").metrics == ("kl",)
+
+    def test_unknown_sweep_named_in_error(self):
+        with pytest.raises(ValueError, match="unknown sweep"):
+            get_sweep("nope")
+
+    def test_duplicate_registration_rejected(self):
+        spec = SweepSpec(name="dup_test", graphs=("a",), schemes=("uniform(p=0.5)",))
+        register_sweep(spec)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_sweep(spec)
+            register_sweep(spec, replace_existing=True)
+        finally:
+            from repro.runner import harness
+
+            harness._SWEEPS.pop("dup_test", None)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.runner.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "table5" in out
+
+    def test_no_sweep_is_usage_error(self, capsys):
+        from repro.runner.__main__ import main
+
+        assert main([]) == 2
+
+    def test_smoke_run_twice_via_cli(self, tmp_path, capsys):
+        from repro.runner.__main__ import main
+
+        args = [
+            "smoke",
+            "--store", str(tmp_path / "store"),
+            "--out", str(tmp_path / "out"),
+            "--seeds", "0",
+            "--csv",
+        ]
+        assert main(args) == 0
+        record = json.loads((tmp_path / "out" / "BENCH_smoke.json").read_text())
+        assert record["cache_misses"] == record["cells_scheduled"] > 0
+        assert main(args + ["--markdown"]) == 0
+        record = json.loads((tmp_path / "out" / "BENCH_smoke.json").read_text())
+        assert record["cache_misses"] == 0
+        assert record["cache_hits"] == record["cells_scheduled"]
+        assert (tmp_path / "out" / "smoke_cells.csv").exists()
+        assert "| scheme |" in capsys.readouterr().out

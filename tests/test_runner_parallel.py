@@ -1,0 +1,153 @@
+"""Tests for store-backed and parallel Session.grid/sweep execution:
+equality with the in-memory path, zero-recompute warm replays, and seed
+plumbing."""
+
+import pytest
+
+from repro.analytics.session import Session
+from repro.runner.store import ArtifactStore
+
+SCHEMES = ["uniform(p=0.5)", "spanner(k=8)"]
+ALGS = ["pr", "cc", "sssp"]
+
+
+def _comparable(table):
+    """The deterministic face of a table (drop wall-clock noise)."""
+    return [
+        (c.scheme, c.algorithm, c.metric, c.value, c.compression_ratio, c.seed)
+        for c in table
+    ]
+
+
+class TestStoreBackedGrid:
+    def test_equals_in_memory_path(self, plc300, tmp_path):
+        expected = Session(plc300, seed=1).grid(SCHEMES, ALGS)
+        store = ArtifactStore(tmp_path / "store")
+        got = Session(plc300, seed=1, store=store).grid(SCHEMES, ALGS)
+        assert _comparable(got) == _comparable(expected)
+
+    def test_warm_store_recomputes_nothing(self, plc300, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        cold = Session(plc300, seed=1, store=store)
+        expected = cold.grid(SCHEMES, ALGS)
+        assert cold.last_grid_perf["cache_misses"] == len(expected)
+
+        warm = Session(plc300, seed=1, store=ArtifactStore(tmp_path / "store"))
+        got = warm.grid(SCHEMES, ALGS)
+        assert _comparable(got) == _comparable(expected)
+        # The acceptance guarantee: zero recomputation on a warm store —
+        # every cell is a cache hit, and the session never ran a baseline.
+        assert warm.last_grid_perf["cache_hits"] == len(expected)
+        assert warm.last_grid_perf["cache_misses"] == 0
+        assert warm.baseline_computations == 0
+        # Even the timings replay byte-identically from the store.
+        assert [c.compressed_seconds for c in got] == [
+            c.compressed_seconds for c in expected
+        ]
+
+    def test_different_seed_misses(self, plc300, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(plc300, seed=1, store=store)
+        session.grid(SCHEMES, ["pr"], ["kl"])
+        session.grid(SCHEMES, ["pr"], ["kl"], seed=2)
+        assert session.last_grid_perf["cache_misses"] == len(SCHEMES)
+
+    def test_surface_spellings_share_cells(self, plc300, tmp_path):
+        # "pr" (battery short name) and "pagerank" (registry name) bind to
+        # one canonical spec, so the store replays across spellings while
+        # each call keeps its own display label.
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(plc300, seed=1, store=store)
+        short = session.grid(SCHEMES, ["pr"], ["kl"])
+        long = session.grid(SCHEMES, ["pagerank(iterations=100)"], ["kl"])
+        assert session.last_grid_perf["cache_hits"] == len(SCHEMES)
+        assert [c.value for c in long] == [c.value for c in short]
+        assert short.algorithms() == ["pr"]
+        assert long.algorithms() == ["pagerank(max_iterations=100)"]
+
+    def test_legacy_callables_rejected(self, plc300, tmp_path):
+        from repro.analytics.evaluation import AlgorithmSpec
+
+        session = Session(plc300, seed=1, store=ArtifactStore(tmp_path / "s"))
+        with pytest.raises(ValueError, match="registry algorithms"):
+            session.grid(SCHEMES, [AlgorithmSpec("edges", lambda g: g.num_edges, "scalar")])
+
+    def test_kernel_path_rejected(self, plc300, tmp_path):
+        session = Session(plc300, seed=1, store=ArtifactStore(tmp_path / "s"))
+        with pytest.raises(ValueError, match="via='fast'"):
+            session.grid(SCHEMES, ["pr"], via="kernels")
+
+    def test_store_accepts_path_surface(self, plc300, tmp_path):
+        session = Session(plc300, seed=1, store=tmp_path / "store")
+        assert isinstance(session.store, ArtifactStore)
+        session.grid(SCHEMES, ["cc"])
+        assert len(session.store) == len(SCHEMES)
+
+
+class TestParallelGrid:
+    def test_parallel_equals_sequential(self, plc300):
+        expected = Session(plc300, seed=1).grid(SCHEMES, ALGS)
+        got = Session(plc300, seed=1, jobs=2).grid(SCHEMES, ALGS)
+        assert _comparable(got) == _comparable(expected)
+
+    def test_parallel_store_backed_round_trip(self, plc300, tmp_path):
+        expected = Session(plc300, seed=1).grid(SCHEMES, ALGS)
+        store = ArtifactStore(tmp_path / "store")
+        cold = Session(plc300, seed=1, store=store, jobs=2)
+        assert _comparable(cold.grid(SCHEMES, ALGS)) == _comparable(expected)
+        # Warm parallel run: replay only, no pool work needed.
+        warm = Session(
+            plc300, seed=1, store=ArtifactStore(tmp_path / "store"), jobs=2
+        )
+        assert _comparable(warm.grid(SCHEMES, ALGS)) == _comparable(expected)
+        assert warm.last_grid_perf["cache_misses"] == 0
+
+    def test_parallel_respects_session_defaults(self, plc300):
+        # bfs_root/pr_iterations travel to the workers.
+        expected = Session(plc300, seed=1, bfs_root=3, pr_iterations=17).grid(
+            SCHEMES, ["bfs", "pr"]
+        )
+        got = Session(plc300, seed=1, bfs_root=3, pr_iterations=17, jobs=2).grid(
+            SCHEMES, ["bfs", "pr"]
+        )
+        assert _comparable(got) == _comparable(expected)
+
+
+class TestSeedPlumbing:
+    def test_grid_records_resolved_seed(self, plc300):
+        table = Session(plc300, seed=5).grid(SCHEMES, ["cc"])
+        assert {c.seed for c in table} == {5}
+        table = Session(plc300, seed=5).grid(SCHEMES, ["cc"], seed=9)
+        assert {c.seed for c in table} == {9}
+
+    def test_compressed_run_carries_seed(self, plc300):
+        session = Session(plc300, seed=5)
+        assert session.compress("uniform(p=0.5)").seed == 5
+        assert session.compress("uniform(p=0.5)", seed=11).seed == 11
+
+    def test_sweep_rows_record_cell_seed(self, plc300):
+        rows = Session(plc300, seed=4).sweep(SCHEMES, repeats=2)
+        # Each row's seed is the seed of its winning repeat — one of the
+        # two cell seeds actually applied.
+        assert set(r.seed for r in rows) <= {4, 5}
+        assert all(r.seed is not None for r in rows)
+
+    def test_store_backed_sweep_matches_values(self, plc300, tmp_path):
+        expected = Session(plc300, seed=4).sweep(SCHEMES)
+        store = ArtifactStore(tmp_path / "store")
+        got = Session(plc300, seed=4, store=store).sweep(SCHEMES)
+        key = lambda rows: [
+            (r.parameter, r.algorithm, r.scheme_spec, r.metric_name,
+             r.metric_value, r.compression_ratio, r.seed)
+            for r in rows
+        ]
+        assert key(got) == key(expected)
+
+    def test_score_cells_public_surface(self, plc300):
+        session = Session(plc300, seed=2)
+        run = session.compress("uniform(p=0.5)")
+        cells = session.score_cells(run, "pr", ["kl", "l2"])
+        assert [c.metric for c in cells] == ["kl_divergence", "l2_distance"]
+        assert all(c.seed == 2 for c in cells)
+        with pytest.raises(ValueError, match="does not apply"):
+            session.score_cells(run, "cc", ["kl"])

@@ -1,0 +1,181 @@
+"""Tests for the content-addressed artifact store, graph fingerprints,
+and binary CSR snapshots."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.snapshot import SnapshotError, load_snapshot, save_snapshot
+from repro.runner.fingerprint import graph_fingerprint
+from repro.runner.store import SCHEMA_VERSION, ArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+FP = "f" * 64
+PAYLOAD = {"cells": [{"scheme": "uniform(p=0.5)", "value": 0.25}], "perf": {}}
+
+
+class TestCellKey:
+    def test_equal_configs_key_identically(self, store):
+        a = store.cell_key(FP, "uniform(p=0.5)", 0, "pagerank(iterations=50)", ["kl"])
+        # Aliases and spelling variants resolve to the same canonical key.
+        b = store.cell_key(FP, "uniform(0.5)", 0, "pr(iterations=50)", ["kl"])
+        assert a == b and a.digest == b.digest
+
+    def test_every_component_discriminates(self, store):
+        base = store.cell_key(FP, "uniform(p=0.5)", 0, "pr", ["kl"])
+        variants = [
+            store.cell_key("0" * 64, "uniform(p=0.5)", 0, "pr", ["kl"]),
+            store.cell_key(FP, "uniform(p=0.4)", 0, "pr", ["kl"]),
+            store.cell_key(FP, "uniform(p=0.5)", 1, "pr", ["kl"]),
+            store.cell_key(FP, "uniform(p=0.5)", 0, "cc", ["kl"]),
+            store.cell_key(FP, "uniform(p=0.5)", 0, "pr", ["l2"]),
+        ]
+        digests = {base.digest} | {v.digest for v in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_bare_callables_rejected(self, store):
+        with pytest.raises(TypeError, match="declarative"):
+            store.cell_key(FP, "uniform(p=0.5)", 0, lambda g: 0, [])
+
+
+class TestStoreRoundTrip:
+    def test_miss_then_hit(self, store):
+        key = store.cell_key(FP, "uniform(p=0.5)", 0, "pr", ["kl"])
+        assert store.get_cells(key) is None
+        assert key not in store
+        store.put_cells(key, PAYLOAD)
+        assert key in store
+        assert store.get_cells(key) == PAYLOAD
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.writes == 1
+        assert len(store) == 1
+
+    def test_arrays_sidecar(self, store):
+        key = store.cell_key(FP, "uniform(p=0.5)", 0, "pr", ["kl"])
+        ranks = np.linspace(0, 1, 7)
+        store.put_cells(key, PAYLOAD, arrays={"ranks": ranks})
+        loaded = store.load_arrays(key)
+        np.testing.assert_array_equal(loaded["ranks"], ranks)
+        other = store.cell_key(FP, "uniform(p=0.5)", 1, "pr", ["kl"])
+        assert store.load_arrays(other) is None
+
+    def test_truncated_record_is_a_miss(self, store):
+        """Atomic-write crash simulation: a half-written record must read
+        as a miss (recomputed + overwritten), never as an error."""
+        key = store.cell_key(FP, "uniform(p=0.5)", 0, "pr", ["kl"])
+        store.put_cells(key, PAYLOAD)
+        path = store._record_path(key)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # crash mid-write
+        assert store.get_cells(key) is None
+        assert store.stats.corrupt == 1
+        # A fresh put over the damage recovers the record.
+        store.put_cells(key, PAYLOAD)
+        assert store.get_cells(key) == PAYLOAD
+
+    def test_schema_version_mismatch_invalidates(self, tmp_path):
+        old = ArtifactStore(tmp_path / "s")
+        key = old.cell_key(FP, "uniform(p=0.5)", 0, "pr", ["kl"])
+        old.put_cells(key, PAYLOAD)
+        newer = ArtifactStore(tmp_path / "s", schema_version=SCHEMA_VERSION + 1)
+        assert newer.get_cells(key) is None
+        assert newer.stats.invalidated == 1
+        # The current-version store still reads its own record.
+        assert ArtifactStore(tmp_path / "s").get_cells(key) == PAYLOAD
+
+    def test_foreign_json_is_a_miss(self, store):
+        key = store.cell_key(FP, "uniform(p=0.5)", 0, "pr", ["kl"])
+        path = store._record_path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(["not", "a", "record"]))
+        assert store.get_cells(key) is None
+
+    def test_no_temp_files_left_behind(self, store):
+        key = store.cell_key(FP, "uniform(p=0.5)", 0, "pr", ["kl"])
+        store.put_cells(key, PAYLOAD, arrays={"x": np.arange(3)})
+        leftovers = list(store.root.rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestGraphSnapshots:
+    def _assert_same_graph(self, a, b):
+        assert a.n == b.n and a.directed == b.directed
+        np.testing.assert_array_equal(a.edge_src, b.edge_src)
+        np.testing.assert_array_equal(a.edge_dst, b.edge_dst)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.arc_edge_ids, b.arc_edge_ids)
+        if a.edge_weights is None:
+            assert b.edge_weights is None
+        else:
+            np.testing.assert_array_equal(a.edge_weights, b.edge_weights)
+
+    def test_snapshot_round_trip(self, plc300, tmp_path):
+        path = save_snapshot(plc300, tmp_path / "g.npz")
+        loaded = load_snapshot(path)
+        self._assert_same_graph(plc300, loaded)
+        loaded.validate()
+
+    def test_snapshot_round_trip_weighted_directed(self, tmp_path):
+        g = gen.rmat(6, 4, seed=3, directed=True)
+        from repro.graphs.weights import with_uniform_weights
+
+        g = with_uniform_weights(g, 1.0, 5.0, seed=1)
+        loaded = load_snapshot(save_snapshot(g, tmp_path / "g.npz"))
+        self._assert_same_graph(g, loaded)
+
+    def test_damaged_snapshot_raises_snapshot_error(self, plc300, tmp_path):
+        path = save_snapshot(plc300, tmp_path / "g.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+        (tmp_path / "not-npz.npz").write_text("hello")
+        with pytest.raises(SnapshotError):
+            load_snapshot(tmp_path / "not-npz.npz")
+
+    def test_add_graph_rewrites_damaged_snapshot(self, store, plc300):
+        fp, path = store.add_graph(plc300)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # disk damage
+        fp2, path2 = store.add_graph(plc300)
+        assert (fp2, path2) == (fp, path)
+        # The damaged file was replaced, not handed to workers as-is.
+        self._assert_same_graph(plc300, load_snapshot(path2))
+
+    def test_store_graph_round_trip(self, store, plc300):
+        fp, path = store.add_graph(plc300)
+        assert fp == graph_fingerprint(plc300)
+        assert store.graph_path(fp) == path
+        self._assert_same_graph(plc300, store.load_graph(fp))
+        # Idempotent: a second add reuses the snapshot.
+        assert store.add_graph(plc300) == (fp, path)
+        assert store.load_graph("0" * 64) is None
+
+
+class TestFingerprint:
+    def test_content_not_identity(self, plc300):
+        twin = gen.powerlaw_cluster(300, 5, 0.7, seed=7)
+        assert twin is not plc300
+        assert graph_fingerprint(twin) == graph_fingerprint(plc300)
+
+    def test_sensitive_to_structure_weights_direction(self, er300, weighted300):
+        fps = {
+            graph_fingerprint(er300),
+            graph_fingerprint(weighted300),
+            graph_fingerprint(gen.erdos_renyi(300, m=900, seed=12)),
+            graph_fingerprint(er300.keep_edges(np.arange(er300.num_edges) > 0)),
+        }
+        assert len(fps) == 4
+
+    def test_snapshot_preserves_fingerprint(self, plc300, tmp_path):
+        path = save_snapshot(plc300, tmp_path / "g.npz")
+        assert graph_fingerprint(load_snapshot(path)) == graph_fingerprint(plc300)

@@ -105,6 +105,38 @@ class TestTimer:
         assert t2.confidence_interval("y") == (1.0, 1.0)
 
 
+class TestStopwatch:
+    def test_stopwatch_measures_block(self):
+        from repro.utils.timer import stopwatch
+
+        with stopwatch() as sw:
+            assert sw.seconds == 0.0
+        assert sw.seconds > 0.0
+
+    def test_stopwatch_records_on_raise(self):
+        from repro.utils.timer import stopwatch
+
+        with pytest.raises(RuntimeError):
+            with stopwatch() as sw:
+                raise RuntimeError("boom")
+        assert sw.seconds > 0.0
+
+    def test_timed_call(self):
+        from repro.utils.timer import timed_call
+
+        out, seconds = timed_call(lambda a, b=0: a + b, 2, b=3)
+        assert out == 5
+        assert seconds >= 0.0
+
+    def test_session_shares_the_helper(self):
+        # The session's historical `_timed` is the shared utils helper,
+        # not a private reimplementation.
+        from repro.analytics import session
+        from repro.utils.timer import timed_call
+
+        assert session._timed is timed_call
+
+
 class TestValidation:
     def test_probability(self):
         assert check_probability(0.5) == 0.5
