@@ -55,19 +55,24 @@ def _check(g: CSRGraph, source: int) -> None:
 
 
 def dijkstra(g: CSRGraph, source: int) -> SSSPResult:
-    """Exact Dijkstra with a lazy-deletion binary heap."""
+    """Exact Dijkstra with a lazy-deletion binary heap.
+
+    Stale heap entries — pushes superseded by a later, shorter tentative
+    distance — are skipped by comparing the popped distance against the
+    settled one.  Every push strictly improves ``dist[v]``, so at most
+    one entry per vertex carries its final distance; the guard therefore
+    relaxes each settled vertex exactly once without a visited array.
+    """
     _check(g, source)
     dist = np.full(g.n, np.inf)
     parent = np.full(g.n, -1, dtype=np.int64)
     dist[source] = 0.0
     parent[source] = source
     heap: list[tuple[float, int]] = [(0.0, source)]
-    done = np.zeros(g.n, dtype=bool)
     while heap:
         d, u = heapq.heappop(heap)
-        if done[u]:
-            continue
-        done[u] = True
+        if d > dist[u]:
+            continue  # stale entry: u settled at a smaller distance
         nbrs = g.neighbors(u)
         wts = g.neighbor_weights(u)
         for v, w in zip(nbrs, wts):

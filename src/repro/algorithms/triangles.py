@@ -12,6 +12,15 @@ Approximate counters (DOULION edge sparsification and wedge sampling,
 §4.3's "numerous approximate schemes") are provided for the accuracy
 analytics, and per-vertex counts back Table 6 (average triangles per
 vertex) and the reordered-pairs metric for TC.
+
+Because triangle structure is consumed repeatedly on the *same* graph
+(TR across seeds, the ``tc`` baseline, ``summarize``, Table 3 bound
+checks), the expensive derived structures here — the full triangle list,
+the degree-oriented arc arrays with their sorted membership keys, the
+edge-id lookup index, and per-edge triangle counts — are memoized through
+the graph-keyed :mod:`repro.graphs.analysis` cache.  The cache is keyed
+by graph identity and graphs are immutable, so a compressed graph never
+sees its original's triangles; it recomputes (and caches) its own.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.registry import register_algorithm
+from repro.graphs.analysis import analysis_cache, cached_analysis
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability
@@ -68,7 +78,7 @@ def _oriented_adjacency(g: CSRGraph):
     deg = g.degrees
     # rank key: degree-major, id-minor; encoded so np comparisons work.
     rank = np.argsort(np.argsort(deg * np.int64(g.n) + np.arange(g.n), kind="stable"))
-    heads = np.repeat(np.arange(g.n), np.diff(g.indptr))
+    heads = g.arc_heads
     tails = g.indices
     forward = rank[tails] > rank[heads]
     fh, ft = heads[forward], tails[forward]
@@ -78,6 +88,34 @@ def _oriented_adjacency(g: CSRGraph):
     optr = np.zeros(g.n + 1, dtype=np.int64)
     np.cumsum(counts, out=optr[1:])
     return optr, ft, rank
+
+
+@cached_analysis("oriented_arcs")
+def _oriented_arcs(g: CSRGraph):
+    """The degree-oriented arc arrays plus their sorted membership keys.
+
+    ``(optr, onbr, arc_u, sorted_keys)``: the CSR-shaped forward
+    orientation of :func:`_oriented_adjacency`, the head of every
+    oriented arc, and the sorted ``u·n+v`` key array used for
+    closed-wedge membership tests.  Cached per graph — exact triangle
+    listing and count-only passes share one orientation build.
+    """
+    optr, onbr, _ = _oriented_adjacency(g)
+    arc_u = np.repeat(np.arange(g.n), np.diff(optr))
+    sorted_keys = np.sort(arc_u * np.int64(g.n) + onbr)
+    return _frozen(optr), _frozen(onbr), _frozen(arc_u), _frozen(sorted_keys)
+
+
+def _frozen(a: np.ndarray) -> np.ndarray:
+    """Mark an array read-only before it enters the analysis cache.
+
+    Cached analyses hand the *same* arrays to every caller; an in-place
+    mutation would silently poison all future results for that graph, so
+    cached buffers refuse writes outright (mirroring ``CSRGraph``'s
+    cached ``degrees``/``arc_heads``).
+    """
+    a.flags.writeable = False
+    return a
 
 
 _WEDGE_CHUNK = 1 << 21  # arcs per block: bounds peak wedge-buffer memory
@@ -91,13 +129,9 @@ def _iter_wedge_blocks(g: CSRGraph):
     (u, w) ∈ E⁺ is tested with one sorted-key search.  No per-edge Python
     loop; arcs are processed in blocks so memory stays bounded.
     """
-    optr, onbr, _ = _oriented_adjacency(g)
-    arc_u = np.repeat(np.arange(g.n), np.diff(optr))
+    optr, onbr, arc_u, sorted_keys = _oriented_arcs(g)
     arc_v = onbr
     m_arcs = len(arc_v)
-    # Sorted key array of oriented arcs for membership tests.
-    keys = arc_u * np.int64(g.n) + arc_v
-    sorted_keys = np.sort(keys)
 
     for lo in range(0, m_arcs, _WEDGE_CHUNK):
         hi = min(lo + _WEDGE_CHUNK, m_arcs)
@@ -121,14 +155,20 @@ def _iter_wedge_blocks(g: CSRGraph):
             yield us[closed], vs[closed], ws[closed]
 
 
+@cached_analysis("triangle_list")
 def list_triangles(g: CSRGraph) -> TriangleList:
-    """Enumerate every triangle exactly once (vectorized forward join)."""
+    """Enumerate every triangle exactly once (vectorized forward join).
+
+    The result is memoized per graph: TR compression across S seeds, the
+    per-vertex/per-edge counters, and the exact global counter all share
+    one O(m^{3/2}) listing of the same graph.
+    """
     if g.directed:
         raise ValueError("triangle listing expects an undirected graph")
     blocks = list(_iter_wedge_blocks(g))
     if not blocks:
         empty = np.empty((0, 3), dtype=np.int64)
-        return TriangleList(vertices=empty, edge_ids=empty.copy())
+        return TriangleList(vertices=_frozen(empty), edge_ids=_frozen(empty.copy()))
     tri = np.stack(
         [
             np.concatenate([b[0] for b in blocks]),
@@ -145,7 +185,7 @@ def list_triangles(g: CSRGraph) -> TriangleList:
         ],
         axis=1,
     )
-    return TriangleList(vertices=tri, edge_ids=eids)
+    return TriangleList(vertices=_frozen(tri), edge_ids=_frozen(eids))
 
 
 @register_algorithm(
@@ -156,10 +196,20 @@ def list_triangles(g: CSRGraph) -> TriangleList:
     example="tc",
 )
 def count_triangles(g: CSRGraph) -> int:
-    """Exact triangle count; the same wedge join, count-only."""
+    """Exact triangle count; the same wedge join, count-only.
+
+    Reuses a cached triangle list when one exists (e.g. after TR
+    compression of the same graph); otherwise runs the count-only join —
+    which never materializes the (T, 3) arrays — and caches the scalar.
+    """
     if g.directed:
         raise ValueError("triangle counting expects an undirected graph")
-    return sum(len(b[0]) for b in _iter_wedge_blocks(g))
+    cached = analysis_cache().peek(g, "triangle_list")
+    if cached is not None:
+        return cached.count
+    return analysis_cache().lookup(
+        g, "triangle_count", lambda h: sum(len(b[0]) for b in _iter_wedge_blocks(h))
+    )
 
 
 @register_algorithm(
@@ -178,17 +228,29 @@ def triangles_per_vertex(g: CSRGraph) -> np.ndarray:
     return out
 
 
+@cached_analysis("edge_triangle_counts")
 def edge_triangle_counts(g: CSRGraph) -> np.ndarray:
     """Number of triangles containing each canonical edge.
 
     Drives the CT Triangle-Reduction variant (remove edges belonging to
-    the fewest triangles first, Fig. 6 right).
+    the fewest triangles first, Fig. 6 right).  Cached per graph, so CT
+    sweeps across seeds pay for one counting pass.
     """
     tl = list_triangles(g)
     out = np.zeros(g.num_edges, dtype=np.int64)
     if tl.count:
         np.add.at(out, tl.edge_ids.ravel(), 1)
-    return out
+    return _frozen(out)
+
+
+@cached_analysis("edge_key_index")
+def _edge_key_index(g: CSRGraph):
+    """``(sorted_keys, order)`` of the canonical ``src·n+dst`` edge keys —
+    the binary-search index behind :func:`edge_ids_of_pairs`, built once
+    per graph."""
+    keys = g.edge_src * np.int64(g.n) + g.edge_dst
+    order = np.argsort(keys, kind="stable")
+    return _frozen(keys[order]), _frozen(order)
 
 
 def edge_ids_of_pairs(g: CSRGraph, u: np.ndarray, v: np.ndarray) -> np.ndarray:
@@ -202,12 +264,16 @@ def edge_ids_of_pairs(g: CSRGraph, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         lo, hi = np.minimum(u, v), np.maximum(u, v)
     else:
         lo, hi = u, v
-    keys = g.edge_src * np.int64(g.n) + g.edge_dst
-    order = np.argsort(keys, kind="stable")
-    sorted_keys = keys[order]
+    if g.num_edges == 0:
+        if len(u):
+            raise KeyError(f"pair ({u[0]}, {v[0]}) is not an edge")
+        return np.empty(0, dtype=np.int64)
+    sorted_keys, order = _edge_key_index(g)
     want = lo * np.int64(g.n) + hi
     pos = np.searchsorted(sorted_keys, want)
-    ok = (pos < len(sorted_keys)) & (sorted_keys[np.minimum(pos, len(keys) - 1)] == want)
+    ok = (pos < len(sorted_keys)) & (
+        sorted_keys[np.minimum(pos, len(sorted_keys) - 1)] == want
+    )
     if not ok.all():
         bad = int(np.flatnonzero(~ok)[0])
         raise KeyError(f"pair ({u[bad]}, {v[bad]}) is not an edge")

@@ -61,6 +61,7 @@ from repro.analytics.grid import GridCell, SweepTable
 from repro.compress.base import CompressionResult, CompressionScheme
 from repro.compress.mappings import vertex_alignment
 from repro.compress.registry import build_scheme, get_entry
+from repro.graphs.analysis import analysis_cache, stats_delta
 from repro.graphs.csr import CSRGraph
 from repro.metrics.registry import (
     MetricContext,
@@ -473,9 +474,10 @@ class Session:
             store = ArtifactStore(store)
         self.store = store
         self.jobs = jobs
-        #: Execution statistics of the most recent runner-backed
-        #: :meth:`grid` call ({} until one runs): cache_hits/cache_misses,
-        #: compress_seconds, wall_seconds, jobs.
+        #: Execution statistics of the most recent :meth:`grid` call
+        #: ({} until one runs): cache_hits/cache_misses, compress_seconds,
+        #: wall_seconds, jobs, and the structural-analysis cache activity
+        #: (``analysis_cache``: hits/misses + per-analysis detail).
         self.last_grid_perf: dict = {}
         self._battery: list[AlgorithmSpec] | None = None
         self._battery_runner_cache: list[_Runner] | None = None
@@ -673,6 +675,7 @@ class Session:
         cells: list[GridCell] = []
         groups = 0
         compress_seconds = 0.0
+        analysis_before = analysis_cache().stats()
         with stopwatch() as wall:
             for scheme in built:
                 run, elapsed = _timed(self.compress, scheme, seed=seed, via=via)
@@ -688,6 +691,9 @@ class Session:
             "cache_misses": groups,
             "compress_seconds": compress_seconds,
             "wall_seconds": wall.seconds,
+            # Structural-analysis reuse during this grid (triangle lists
+            # etc.): see repro.graphs.analysis.
+            "analysis_cache": stats_delta(analysis_before, analysis_cache().stats()),
         }
         return SweepTable(cells)
 

@@ -54,39 +54,73 @@ class KernelSweepResult:
     num_deleted_vertices: int
 
 
-def _enumerate_elements(g: CSRGraph, kernel: CompressionKernel, sg: SG):
-    """Materialize the element list for the kernel's scope."""
-    if kernel.scope == "vertex":
-        return [VertexView(g, v) for v in range(g.n)]
-    if kernel.scope == "edge":
-        return [EdgeView(g, e) for e in range(g.num_edges)]
-    if kernel.scope == "triangle":
-        from repro.algorithms.triangles import list_triangles
+class _ElementSpace:
+    """Lazily enumerable kernel-scope elements.
 
-        tl = list_triangles(g)
-        return [
-            TriangleView(g, tuple(tl.vertices[i]), tuple(tl.edge_ids[i]))
-            for i in range(tl.count)
-        ]
-    if kernel.scope == "subgraph":
-        if sg.mapping is None:
-            raise RuntimeError(
-                "subgraph kernels need sg.mapping; use SlimGraphRuntime or "
-                "construct the mapping first (§4.5.2)"
-            )
-        return [
-            SubgraphView(g, cid, vertices, sg.mapping)
-            for cid, vertices in cluster_subgraphs(g, sg.mapping)
-        ]
-    raise ValueError(f"unknown kernel scope {kernel.scope!r}")
+    Holds only the compact per-scope data — the graph itself for
+    vertex/edge scopes, the triangle arrays, or the cluster list — and
+    materializes view objects one at a time as :meth:`views` is iterated.
+    Serial sweeps and chunk workers therefore allocate O(1) live view
+    instances instead of an up-front Python list of n or m dataclass
+    instances, and a sweep that stops early never allocates the views it
+    did not reach.  The space is picklable (compact arrays, not view
+    objects), so ``"process"`` jobs carry the graph + element arrays
+    instead of an n/m-sized list of per-element view instances.
+    """
+
+    __slots__ = ("graph", "scope", "count", "_triangles", "_clusters", "_mapping")
+
+    def __init__(self, g: CSRGraph, kernel: CompressionKernel, sg: SG) -> None:
+        self.graph = g
+        self.scope = kernel.scope
+        self._triangles = None
+        self._clusters = None
+        self._mapping = None
+        if kernel.scope == "vertex":
+            self.count = g.n
+        elif kernel.scope == "edge":
+            self.count = g.num_edges
+        elif kernel.scope == "triangle":
+            from repro.algorithms.triangles import list_triangles
+
+            self._triangles = list_triangles(g)
+            self.count = self._triangles.count
+        elif kernel.scope == "subgraph":
+            if sg.mapping is None:
+                raise RuntimeError(
+                    "subgraph kernels need sg.mapping; use SlimGraphRuntime or "
+                    "construct the mapping first (§4.5.2)"
+                )
+            self._mapping = sg.mapping
+            self._clusters = list(cluster_subgraphs(g, sg.mapping))
+            self.count = len(self._clusters)
+        else:
+            raise ValueError(f"unknown kernel scope {kernel.scope!r}")
+
+    def views(self, lo: int, hi: int):
+        """Yield the views for elements ``lo..hi`` one at a time."""
+        g = self.graph
+        if self.scope == "vertex":
+            for v in range(lo, hi):
+                yield VertexView(g, v)
+        elif self.scope == "edge":
+            for e in range(lo, hi):
+                yield EdgeView(g, e)
+        elif self.scope == "triangle":
+            tl = self._triangles
+            for i in range(lo, hi):
+                yield TriangleView(g, tuple(tl.vertices[i]), tuple(tl.edge_ids[i]))
+        else:
+            for cid, vertices in self._clusters[lo:hi]:
+                yield SubgraphView(g, cid, vertices, self._mapping)
 
 
 def _run_chunk(args):
     """Execute a kernel on one chunk of elements (worker entry point)."""
-    kernel, sg, elements, lo, hi, rng = args
+    kernel, sg, space, lo, hi, rng = args
     sg.fresh_buffers()
     sg.bind_rng(rng)
-    for x in elements[lo:hi]:
+    for x in space.views(lo, hi):
         kernel(x, sg)
     return sg.buffer, sg.flags, sg.converged, (
         sg.summary_supervertices,
@@ -115,13 +149,13 @@ def run_kernels(
         # Keep the container and the executed graph coherent.
         sg.graph = g
         sg.fresh_buffers()
-    elements = _enumerate_elements(g, kernel, sg)
-    n_elem = len(elements)
+    space = _ElementSpace(g, kernel, sg)
+    n_elem = space.count
 
     if backend == "serial":
         if seed is not None:
             sg.bind_rng(seed)
-        for x in elements:
+        for x in space.views(0, n_elem):
             kernel(x, sg)
         return KernelSweepResult(
             num_instances=n_elem,
@@ -137,7 +171,7 @@ def run_kernels(
     ranges = chunk_ranges(n_elem, num_chunks)
     rngs = spawn_generators(seed, len(ranges))
     jobs = [
-        (kernel, _chunk_sg(sg), elements, lo, hi, rng)
+        (kernel, _chunk_sg(sg), space, lo, hi, rng)
         for (lo, hi), rng in zip(ranges, rngs)
     ]
     if backend == "chunked" or len(jobs) <= 1:

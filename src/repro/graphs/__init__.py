@@ -1,5 +1,6 @@
 """Graph substrate: CSR core, builders, generators, datasets, and I/O."""
 
+from repro.graphs.analysis import AnalysisCache, analysis_cache, cached_analysis
 from repro.graphs.csr import CSRGraph
 from repro.graphs.builder import GraphBuilder
 from repro.graphs import generators
@@ -15,6 +16,9 @@ from repro.graphs import edgelist
 from repro.graphs.snapshot import load_snapshot, save_snapshot
 
 __all__ = [
+    "AnalysisCache",
+    "analysis_cache",
+    "cached_analysis",
     "load_snapshot",
     "save_snapshot",
     "CSRGraph",

@@ -1,0 +1,263 @@
+"""Graph-keyed memoization of expensive structural analyses.
+
+Slim Graph's evaluation loop applies many schemes × seeds × algorithms to
+the *same* input graph (§5), and several of those steps need the same
+expensive derived structure: Triangle Reduction lists the graph's
+triangles once per seed, the ``tc`` baseline counts them again,
+``summarize``/Table 3 checks count them a third time.  Each of those is
+O(m^{3/2}) from scratch.  :class:`AnalysisCache` memoizes such derived
+structures **per graph object**:
+
+- **identity-keyed, weakly held** — the key is the graph's object
+  identity in a ``WeakKeyDictionary``.  :class:`~repro.graphs.csr.
+  CSRGraph` is immutable and every transform returns a *new* object, so
+  identity keying gives mutation-free invalidation for free: a derived
+  graph can never observe its parent's cached triangles, and cached
+  entries die with the graph instead of pinning it in memory.
+- **fingerprint-linked** — a graph's content fingerprint
+  (:func:`repro.runner.fingerprint.graph_fingerprint`) can be registered
+  with :meth:`AnalysisCache.link_fingerprint`; a *different* object with
+  the same content (e.g. one reloaded from a binary snapshot) can then
+  :meth:`~AnalysisCache.adopt` the live twin's cached analyses instead of
+  recomputing them.
+- **observable** — per-analysis hit/miss counters surface in
+  ``Session.last_grid_perf`` and the runner's ``BENCH_*.json`` records
+  (see :func:`stats_delta`), so cache effectiveness is part of the perf
+  trajectory and the test suite can assert, e.g., that a multi-seed TR
+  sweep lists triangles exactly once.
+
+Analyses register with the :func:`cached_analysis` decorator; only the
+bare one-argument form ``fn(graph)`` is memoized — parameterized calls
+pass straight through.
+"""
+
+from __future__ import annotations
+
+import functools
+import weakref
+from collections import defaultdict
+
+__all__ = [
+    "AnalysisCache",
+    "analysis_cache",
+    "cached_analysis",
+    "stats_delta",
+]
+
+
+class AnalysisCache:
+    """A weak, graph-keyed memo for derived structural analyses."""
+
+    def __init__(self) -> None:
+        self._entries: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+        self._by_fingerprint: dict[str, weakref.ref] = {}
+        self._hits: dict[str, int] = defaultdict(int)
+        self._misses: dict[str, int] = defaultdict(int)
+        self.enabled = True
+
+    # -- core lookup -------------------------------------------------------- #
+
+    def lookup(self, graph, name: str, build):
+        """The cached ``name`` analysis of ``graph``, computing via
+        ``build(graph)`` on a miss.  Counts a hit or a miss either way."""
+        if not self.enabled:
+            return build(graph)
+        entry = self._entry(graph)
+        if entry is None:  # graph cannot be weakly referenced / hashed
+            return build(graph)
+        if name in entry:
+            self._hits[name] += 1
+            return entry[name]
+        self._misses[name] += 1
+        value = build(graph)
+        entry[name] = value
+        return value
+
+    def peek(self, graph, name: str, default=None):
+        """The cached value if present; never computes.
+
+        A found value counts as a hit (it is a successful cache use — e.g.
+        ``count_triangles`` reading an already-listed triangle set); an
+        absent one counts nothing, because peeking is how callers probe
+        for *optional* reuse without committing to the computation.
+        """
+        if not self.enabled:
+            return default
+        try:
+            entry = self._entries.get(graph)
+        except TypeError:
+            return default
+        if entry is None or name not in entry:
+            return default
+        self._hits[name] += 1
+        return entry[name]
+
+    def put(self, graph, name: str, value) -> None:
+        """Install a value computed elsewhere (no hit/miss accounting)."""
+        if not self.enabled:
+            return
+        entry = self._entry(graph)
+        if entry is not None:
+            entry[name] = value
+
+    def _entry(self, graph) -> dict | None:
+        try:
+            entry = self._entries.get(graph)
+            if entry is None:
+                entry = {}
+                self._entries[graph] = entry
+            return entry
+        except TypeError:
+            return None
+
+    # -- fingerprint linkage ------------------------------------------------ #
+
+    def link_fingerprint(self, graph, fingerprint: str) -> None:
+        """Register ``graph`` as a live carrier of ``fingerprint``.
+
+        The link is weak, and a collected graph prunes its own entry (via
+        the weakref callback), so long-lived processes fingerprinting many
+        transient graphs do not accumulate dead links.
+        """
+        if not self.enabled:
+            return
+        fp = str(fingerprint)
+        table = self._by_fingerprint
+
+        def _prune(ref, _fp=fp, _table=table):
+            # Only drop the entry if it still points at the dead ref —
+            # the fingerprint may have been re-linked to a newer graph.
+            if _table.get(_fp) is ref:
+                del _table[_fp]
+
+        try:
+            table[fp] = weakref.ref(graph, _prune)
+        except TypeError:
+            pass
+
+    def resolve_fingerprint(self, fingerprint: str):
+        """A live graph previously linked to ``fingerprint``, or ``None``."""
+        ref = self._by_fingerprint.get(str(fingerprint))
+        if ref is None:
+            return None
+        graph = ref()
+        if graph is None:
+            del self._by_fingerprint[str(fingerprint)]
+        return graph
+
+    def adopt(self, graph, fingerprint: str) -> int:
+        """Copy cached analyses from a live same-content twin onto ``graph``.
+
+        Safe because analyses are pure functions of graph *content* and
+        the fingerprint is a content hash.  Returns the number of entries
+        adopted (0 when no live twin exists).  Also links ``graph`` as a
+        carrier of ``fingerprint``.
+        """
+        if not self.enabled:
+            return 0
+        adopted = 0
+        twin = self.resolve_fingerprint(fingerprint)
+        if twin is not None and twin is not graph:
+            source = self.peek_all(twin)
+            if source:
+                entry = self._entry(graph)
+                if entry is not None:
+                    for name, value in source.items():
+                        if name not in entry:
+                            entry[name] = value
+                            adopted += 1
+        self.put(graph, "fingerprint", str(fingerprint))
+        self.link_fingerprint(graph, fingerprint)
+        return adopted
+
+    def peek_all(self, graph) -> dict:
+        """All cached analyses of ``graph`` as ``{name: value}`` (a copy)."""
+        try:
+            entry = self._entries.get(graph)
+        except TypeError:
+            return {}
+        return dict(entry) if entry else {}
+
+    # -- maintenance & observability ---------------------------------------- #
+
+    def forget(self, graph) -> None:
+        """Drop every cached analysis of ``graph``."""
+        try:
+            self._entries.pop(graph, None)
+        except TypeError:
+            pass
+
+    def clear(self) -> None:
+        """Drop all cached entries and fingerprint links (stats persist)."""
+        self._entries.clear()
+        self._by_fingerprint.clear()
+
+    def reset_stats(self) -> None:
+        self._hits.clear()
+        self._misses.clear()
+
+    def stats(self) -> dict:
+        """JSON-safe snapshot: total hits/misses plus per-analysis detail."""
+        names = sorted(set(self._hits) | set(self._misses))
+        return {
+            "hits": sum(self._hits.values()),
+            "misses": sum(self._misses.values()),
+            "by_analysis": {
+                name: {"hits": self._hits[name], "misses": self._misses[name]}
+                for name in names
+            },
+            "live_graphs": len(self._entries),
+        }
+
+
+#: The process-wide cache every analysis routes through by default.  Worker
+#: processes each get their own (module state is per process), mirroring
+#: how the sweep runner shards baseline caches.
+_CACHE = AnalysisCache()
+
+
+def analysis_cache() -> AnalysisCache:
+    """The process-wide :class:`AnalysisCache`."""
+    return _CACHE
+
+
+def cached_analysis(name: str):
+    """Decorator memoizing a one-argument ``fn(graph)`` analysis.
+
+    Calls with extra arguments bypass the cache (they parameterize the
+    analysis, so the graph alone no longer determines the result).
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(graph, *args, **kwargs):
+            if args or kwargs:
+                return fn(graph, *args, **kwargs)
+            return _CACHE.lookup(graph, name, fn)
+
+        wrapper.analysis_name = name
+        return wrapper
+
+    return decorate
+
+
+def stats_delta(before: dict, after: dict) -> dict:
+    """What happened between two :meth:`AnalysisCache.stats` snapshots.
+
+    Returns the same shape (hits/misses totals plus per-analysis detail,
+    zero-activity analyses dropped) — the form perf records embed.
+    """
+    by: dict[str, dict[str, int]] = {}
+    names = set(after.get("by_analysis", {})) | set(before.get("by_analysis", {}))
+    for name in sorted(names):
+        b = before.get("by_analysis", {}).get(name, {})
+        a = after.get("by_analysis", {}).get(name, {})
+        hits = a.get("hits", 0) - b.get("hits", 0)
+        misses = a.get("misses", 0) - b.get("misses", 0)
+        if hits or misses:
+            by[name] = {"hits": hits, "misses": misses}
+    return {
+        "hits": after.get("hits", 0) - before.get("hits", 0),
+        "misses": after.get("misses", 0) - before.get("misses", 0),
+        "by_analysis": by,
+    }

@@ -66,6 +66,11 @@ class CSRGraph:
         "arc_edge_ids",
         "_degrees",
         "_in_degrees",
+        "_arc_heads",
+        # Weak referenceability is what lets the analysis cache
+        # (:mod:`repro.graphs.analysis`) key derived structures by graph
+        # identity without pinning graphs in memory.
+        "__weakref__",
     )
 
     def __init__(
@@ -105,6 +110,7 @@ class CSRGraph:
         self.directed = bool(directed)
         self._degrees = None
         self._in_degrees = None
+        self._arc_heads = None
         self._build_csr()
 
     # ------------------------------------------------------------------ #
@@ -221,8 +227,11 @@ class CSRGraph:
 
         Only for trusted producers — the binary snapshot loader
         (:mod:`repro.graphs.snapshot`), which persisted arrays taken from
-        a live ``CSRGraph``.  Callers with unvetted arrays must go through
-        the constructor or :meth:`from_edges`.
+        a live ``CSRGraph``, and the sort-free O(m) transform fast paths
+        (:meth:`keep_edges` / :meth:`remove_vertices` /
+        :meth:`with_weights`), which derive the child's adjacency from the
+        parent's already-sorted arrays.  Callers with unvetted arrays must
+        go through the constructor or :meth:`from_edges`.
         """
         g = object.__new__(cls)
         g.n = int(num_vertices)
@@ -239,6 +248,7 @@ class CSRGraph:
         g.arc_edge_ids = np.ascontiguousarray(arc_edge_ids, dtype=np.int64)
         g._degrees = None
         g._in_degrees = None
+        g._arc_heads = None
         return g
 
     # ------------------------------------------------------------------ #
@@ -277,6 +287,20 @@ class CSRGraph:
                 self._in_degrees = d
             return self._in_degrees
         return self.degrees
+
+    @property
+    def arc_heads(self) -> np.ndarray:
+        """Head vertex of every stored arc (parallel to ``indices``).
+
+        The row-expansion of ``indptr``; cached on the instance because
+        repeated derivation from one parent (e.g. TR across seeds) and
+        triangle orientation both need it.
+        """
+        if self._arc_heads is None:
+            h = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+            h.flags.writeable = False
+            self._arc_heads = h
+        return self._arc_heads
 
     def degree(self, v: int) -> int:
         return int(self.indptr[v + 1] - self.indptr[v])
@@ -330,6 +354,50 @@ class CSRGraph:
 
         The vertex set is preserved (compression never renumbers vertices;
         accuracy metrics compare per-vertex outputs positionally).
+
+        Sort-free O(m) derivation: the parent's adjacency is already
+        lexsorted by (head, tail) and the child keeps a subset of its
+        edges, so the child's arcs are exactly the parent's arcs whose
+        edge survives, *in parent order* — a subsequence of a sorted
+        sequence is sorted.  Masking arcs with ``keep_mask[arc_edge_ids]``,
+        renumbering edge ids with a cumsum, and rebuilding ``indptr`` with
+        a ``bincount`` therefore reproduces, bit for bit, what a full
+        ``lexsort`` rebuild would produce (arc keys are unique: no
+        parallel edges, no self-loops), without the O(m log m) sort or
+        re-validation.  See :meth:`_keep_edges_rebuild` for the legacy
+        path kept as the equivalence/benchmark reference.
+        """
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != self.edge_src.shape:
+            raise ValueError("mask length must equal num_edges")
+        new_id = np.cumsum(keep_mask, dtype=np.int64) - 1  # old -> new edge id
+        arc_keep = keep_mask[self.arc_edge_ids]
+        # indptr[v] = #kept arcs before row v: one running sum over the
+        # arcs, sampled at the parent's row boundaries.
+        arc_csum = np.empty(len(arc_keep) + 1, dtype=np.int64)
+        arc_csum[0] = 0
+        np.cumsum(arc_keep, out=arc_csum[1:])
+        arc_idx = np.flatnonzero(arc_keep)
+        edge_idx = np.flatnonzero(keep_mask)
+        w = None if self.edge_weights is None else self.edge_weights[edge_idx]
+        return CSRGraph._from_parts(
+            self.n,
+            self.edge_src[edge_idx],
+            self.edge_dst[edge_idx],
+            w,
+            directed=self.directed,
+            indptr=arc_csum[self.indptr],
+            indices=self.indices[arc_idx],
+            arc_edge_ids=new_id[self.arc_edge_ids[arc_idx]],
+        )
+
+    def _keep_edges_rebuild(self, keep_mask: np.ndarray) -> "CSRGraph":
+        """Legacy O(m log m) :meth:`keep_edges`: slice the edge arrays and
+        rebuild the adjacency from scratch (constructor ``lexsort``).
+
+        Kept as the reference implementation: the property-test suite
+        asserts the fast path is buffer-identical to this, and
+        ``benchmarks/bench_core.py`` measures the speedup against it.
         """
         keep_mask = np.asarray(keep_mask, dtype=bool)
         if keep_mask.shape != self.edge_src.shape:
@@ -344,9 +412,23 @@ class CSRGraph:
         )
 
     def delete_edges(self, edge_ids: np.ndarray) -> "CSRGraph":
-        """Drop the canonical edges listed in ``edge_ids`` (duplicates ok)."""
+        """Drop the canonical edges listed in ``edge_ids`` (duplicates ok).
+
+        Ids must lie in ``[0, num_edges)``; negative ids are rejected
+        rather than wrapping around numpy-style (which would silently
+        delete the wrong edge).
+        """
+        edge_ids = np.asarray(edge_ids, dtype=np.int64).ravel()
+        if len(edge_ids):
+            bad = (edge_ids < 0) | (edge_ids >= self.num_edges)
+            if bad.any():
+                offender = int(edge_ids[np.argmax(bad)])
+                raise ValueError(
+                    f"edge id {offender} out of range for a graph with "
+                    f"{self.num_edges} edges (valid: 0..{self.num_edges - 1})"
+                )
         mask = np.ones(self.num_edges, dtype=bool)
-        mask[np.asarray(edge_ids, dtype=np.int64)] = False
+        mask[edge_ids] = False
         return self.keep_edges(mask)
 
     def remove_vertices(self, vertex_ids, *, relabel: bool = False) -> "CSRGraph":
@@ -356,27 +438,60 @@ class CSRGraph:
         isolated ids so per-vertex outputs stay positionally comparable;
         with ``relabel=True`` the survivors are renumbered compactly (used
         by triangle collapse, which genuinely changes the vertex set).
+
+        Both forms are sort-free O(m): the edge drop rides
+        :meth:`keep_edges`, and compaction renumbers through a *monotone*
+        map, which preserves every sorted order the CSR invariants need.
         """
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64).ravel()
+        if len(vertex_ids):
+            bad = (vertex_ids < 0) | (vertex_ids >= self.n)
+            if bad.any():
+                offender = int(vertex_ids[np.argmax(bad)])
+                raise ValueError(
+                    f"vertex id {offender} out of range for a graph with "
+                    f"{self.n} vertices (valid: 0..{self.n - 1})"
+                )
         gone = np.zeros(self.n, dtype=bool)
-        gone[np.asarray(vertex_ids, dtype=np.int64)] = True
+        gone[vertex_ids] = True
         keep_edge = ~(gone[self.edge_src] | gone[self.edge_dst])
         g = self.keep_edges(keep_edge)
         if not relabel:
             return g
-        new_id = np.cumsum(~gone) - 1
-        w = g.edge_weights
-        return CSRGraph(
-            int((~gone).sum()),
+        keep_v = ~gone
+        new_id = np.cumsum(keep_v, dtype=np.int64) - 1
+        indptr = np.zeros(int(keep_v.sum()) + 1, dtype=np.int64)
+        np.cumsum(np.diff(g.indptr)[keep_v], out=indptr[1:])
+        return CSRGraph._from_parts(
+            int(keep_v.sum()),
             new_id[g.edge_src],
             new_id[g.edge_dst],
-            w,
+            g.edge_weights,
             directed=self.directed,
+            indptr=indptr,
+            indices=new_id[g.indices],
+            arc_edge_ids=g.arc_edge_ids,
         )
 
     def with_weights(self, weights: np.ndarray | None) -> "CSRGraph":
-        """Same structure with replaced (or removed) edge weights."""
-        return CSRGraph(
-            self.n, self.edge_src, self.edge_dst, weights, directed=self.directed
+        """Same structure with replaced (or removed) edge weights.
+
+        The adjacency arrays are shared with ``self`` (graphs are
+        immutable), so this is O(m) in the weight copy only — no rebuild.
+        """
+        if weights is not None:
+            weights = np.ascontiguousarray(weights, dtype=np.float64)
+            if weights.shape != self.edge_src.shape:
+                raise ValueError("edge_weights must match the number of edges")
+        return CSRGraph._from_parts(
+            self.n,
+            self.edge_src,
+            self.edge_dst,
+            weights,
+            directed=self.directed,
+            indptr=self.indptr,
+            indices=self.indices,
+            arc_edge_ids=self.arc_edge_ids,
         )
 
     def relabeled(self, mapping: np.ndarray, num_new: int, *, dedup: str = "first") -> "CSRGraph":

@@ -30,6 +30,7 @@ from repro.runner.harness import (
     register_sweep,
     run_sweep,
     write_bench_record,
+    write_perf_record,
 )
 from repro.runner.parallel import CellTask, run_grid
 from repro.runner.store import SCHEMA_VERSION, ArtifactStore, CellKey, StoreStats
@@ -49,4 +50,5 @@ __all__ = [
     "run_grid",
     "run_sweep",
     "write_bench_record",
+    "write_perf_record",
 ]

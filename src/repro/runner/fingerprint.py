@@ -16,6 +16,7 @@ import struct
 
 import numpy as np
 
+from repro.graphs.analysis import analysis_cache, cached_analysis
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["graph_fingerprint"]
@@ -25,14 +26,8 @@ __all__ = ["graph_fingerprint"]
 _FINGERPRINT_TAG = b"repro-csr-fp-v1"
 
 
-def graph_fingerprint(g: CSRGraph) -> str:
-    """Hex SHA-256 identifying ``g`` by content.
-
-    Covers the vertex count, directedness, the canonical edge arrays, and
-    the weights (including their absence — an unweighted graph and its
-    all-ones weighted twin fingerprint differently).  The derived CSR
-    adjacency is *not* hashed: it is a function of the canonical arrays.
-    """
+@cached_analysis("fingerprint")
+def _compute_fingerprint(g: CSRGraph) -> str:
     h = hashlib.sha256()
     h.update(_FINGERPRINT_TAG)
     h.update(struct.pack("<qq?", g.n, g.num_edges, g.directed))
@@ -42,3 +37,21 @@ def graph_fingerprint(g: CSRGraph) -> str:
         h.update(b"weighted")
         h.update(np.ascontiguousarray(g.edge_weights, dtype=np.float64))
     return h.hexdigest()
+
+
+def graph_fingerprint(g: CSRGraph) -> str:
+    """Hex SHA-256 identifying ``g`` by content.
+
+    Covers the vertex count, directedness, the canonical edge arrays, and
+    the weights (including their absence — an unweighted graph and its
+    all-ones weighted twin fingerprint differently).  The derived CSR
+    adjacency is *not* hashed: it is a function of the canonical arrays.
+
+    Memoized per graph object through the analysis cache, and the graph
+    is registered as a live carrier of its fingerprint so snapshot
+    reloads of the same content can adopt its cached analyses
+    (:meth:`repro.graphs.analysis.AnalysisCache.adopt`).
+    """
+    fp = _compute_fingerprint(g)
+    analysis_cache().link_fingerprint(g, fp)
+    return fp

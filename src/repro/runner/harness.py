@@ -39,6 +39,7 @@ __all__ = [
     "available_sweeps",
     "run_sweep",
     "write_bench_record",
+    "write_perf_record",
     "BENCH_SCHEMA_VERSION",
 ]
 
@@ -159,6 +160,8 @@ def run_sweep(
         "cache_hits": 0,
         "cache_misses": 0,
         "compress_seconds": 0.0,
+        "analysis_hits": 0,
+        "analysis_misses": 0,
     }
     with stopwatch() as wall:
         for graph_name in spec.graphs:
@@ -181,6 +184,11 @@ def run_sweep(
                 # Cumulative per session: stays at one per algorithm no
                 # matter how many schemes/seeds scored against it.
                 grid_perf["baseline_computations"] = session.baseline_computations
+                # Flatten the structural-analysis cache counters so they
+                # total like the store counters (detail stays per grid).
+                analysis = grid_perf.get("analysis_cache") or {}
+                grid_perf["analysis_hits"] = analysis.get("hits", 0)
+                grid_perf["analysis_misses"] = analysis.get("misses", 0)
                 for key in totals:
                     totals[key] += grid_perf.get(key, 0)
                 grids.append({"graph": graph_name, "seed": seed, **grid_perf})
@@ -211,13 +219,25 @@ def run_sweep(
     return SweepResult(spec=spec, table=table, perf=perf)
 
 
-def write_bench_record(result: SweepResult, out_dir) -> Path:
-    """Emit ``BENCH_<sweep>.json`` under ``out_dir``; returns the path."""
+def write_perf_record(name: str, perf: dict, out_dir) -> Path:
+    """Emit a ``BENCH_<name>.json`` perf record under ``out_dir``.
+
+    The shared exit point of the perf trajectory: sweep results
+    (:func:`write_bench_record`) and the micro-benchmark suite
+    (``benchmarks/bench_core.py``) both land here, so every record
+    carries the same ``schema_version`` and naming convention.
+    """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / f"BENCH_{result.spec.name}.json"
-    path.write_text(json.dumps(result.bench_record(), indent=2, sort_keys=True) + "\n")
+    path = out_dir / f"BENCH_{name}.json"
+    record = {"schema_version": BENCH_SCHEMA_VERSION, "sweep": name, **perf}
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def write_bench_record(result: SweepResult, out_dir) -> Path:
+    """Emit ``BENCH_<sweep>.json`` under ``out_dir``; returns the path."""
+    return write_perf_record(result.spec.name, result.perf, out_dir)
 
 
 # ---------------------------------------------------------------------- #

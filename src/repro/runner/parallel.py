@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro.algorithms.spec import AlgorithmSpec
 from repro.analytics.grid import GridCell
+from repro.graphs.analysis import analysis_cache, stats_delta
 from repro.metrics.registry import resolve_metric
 from repro.utils.timer import stopwatch, timed_call
 
@@ -97,6 +98,7 @@ def _compute_cell(session, runs: dict, task: dict) -> tuple[list[dict], dict]:
     scheme-major, so in practice each compression still runs once).
     Baselines dedupe through the session's own cache.
     """
+    analysis_before = analysis_cache().stats()
     run_key = (task["scheme"], task["seed"])
     cached = runs.get(run_key)
     compress_seconds = 0.0
@@ -110,7 +112,13 @@ def _compute_cell(session, runs: dict, task: dict) -> tuple[list[dict], dict]:
     plan = [resolve_metric(m) for m in task["metrics"]]
     with stopwatch() as sw:
         cells = session._score_cells(cached, runner, plan, seed=task["seed"])
-    perf = {"compress_seconds": compress_seconds, "cell_seconds": sw.seconds}
+    perf = {
+        "compress_seconds": compress_seconds,
+        "cell_seconds": sw.seconds,
+        # Structural-analysis cache activity attributable to this cell
+        # (in the executing process — a worker's own cache when pooled).
+        "analysis": stats_delta(analysis_before, analysis_cache().stats()),
+    }
     return [c.to_dict() for c in cells], perf
 
 
@@ -174,6 +182,7 @@ def run_grid(session, built, runners, plans, *, seed):
             "cache_hits": 0,
             "cache_misses": 0,
             "compress_seconds": 0.0,
+            "analysis_cache": {"hits": 0, "misses": 0, "by_analysis": {}},
         }
         pending: list[CellTask] = []
         for task in tasks:
@@ -193,6 +202,7 @@ def run_grid(session, built, runners, plans, *, seed):
         def harvest(task: CellTask, cells: list[dict], cell_perf: dict) -> None:
             results[(task.scheme_index, task.runner_index)] = cells
             perf["compress_seconds"] += cell_perf.get("compress_seconds", 0.0)
+            _merge_analysis(perf["analysis_cache"], cell_perf.get("analysis"))
             if store is not None:
                 key = store.cell_key(
                     fingerprint, task.scheme, task.seed, task.algorithm, task.metrics
@@ -214,6 +224,18 @@ def run_grid(session, built, runners, plans, *, seed):
     if store is not None:
         perf["store_stats"] = store.stats.snapshot()
     return cells, perf
+
+
+def _merge_analysis(total: dict, delta: dict | None) -> None:
+    """Accumulate one cell's analysis-cache delta into the grid totals."""
+    if not delta:
+        return
+    total["hits"] += delta.get("hits", 0)
+    total["misses"] += delta.get("misses", 0)
+    for name, counts in delta.get("by_analysis", {}).items():
+        slot = total["by_analysis"].setdefault(name, {"hits": 0, "misses": 0})
+        slot["hits"] += counts.get("hits", 0)
+        slot["misses"] += counts.get("misses", 0)
 
 
 def _run_pool(session, store, fingerprint, pending, jobs, harvest) -> None:

@@ -305,14 +305,24 @@ class ArtifactStore:
         return fingerprint, path
 
     def load_graph(self, fingerprint: str) -> CSRGraph | None:
-        """Reload a stored graph snapshot; damaged snapshots read as None."""
+        """Reload a stored graph snapshot; damaged snapshots read as None.
+
+        The loaded graph adopts any cached analyses of a live graph with
+        the same content fingerprint (triangle lists etc. are functions
+        of content), so a reload never re-pays for analyses the original
+        object already computed in this process.
+        """
         path = self.graph_path(fingerprint)
         if path is None:
             return None
         try:
-            return load_snapshot(path)
+            g = load_snapshot(path)
         except SnapshotError:
             return None
+        from repro.graphs.analysis import analysis_cache
+
+        analysis_cache().adopt(g, fingerprint)
+        return g
 
 
 def _snapshot_readable(path: Path) -> bool:

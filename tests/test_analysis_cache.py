@@ -1,0 +1,257 @@
+"""Tests for the graph-keyed analysis cache and its perf-record plumbing.
+
+Covers the cache contract (identity keying, weak entries, hit/miss
+accounting, fingerprint adoption), mutation-free invalidation (a derived
+graph never sees its parent's cached triangles), and the headline reuse
+guarantee: a multi-seed TR sweep lists the original graph's triangles
+exactly once, observable through cache stats and BENCH perf records.
+"""
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.algorithms.triangles import (
+    count_triangles,
+    edge_triangle_counts,
+    list_triangles,
+)
+from repro.analytics.session import Session
+from repro.graphs import generators as gen
+from repro.graphs.analysis import AnalysisCache, analysis_cache, stats_delta
+
+
+@pytest.fixture
+def cache():
+    return analysis_cache()
+
+
+def triangle_rich(seed=0, n=300):
+    return gen.powerlaw_cluster(n, 4, 0.6, seed=seed)
+
+
+class TestAnalysisCache:
+    def test_lookup_computes_once(self):
+        c = AnalysisCache()
+        g = triangle_rich()
+        calls = []
+
+        def build(graph):
+            calls.append(graph)
+            return "value"
+
+        assert c.lookup(g, "thing", build) == "value"
+        assert c.lookup(g, "thing", build) == "value"
+        assert len(calls) == 1
+        s = c.stats()
+        assert s["hits"] == 1 and s["misses"] == 1
+
+    def test_identity_keyed_not_content_keyed(self):
+        c = AnalysisCache()
+        g1 = triangle_rich(seed=1)
+        g2 = triangle_rich(seed=1)  # same content, different object
+        c.put(g1, "thing", "a")
+        assert c.peek(g1, "thing") == "a"
+        assert c.peek(g2, "thing") is None
+
+    def test_entries_die_with_the_graph(self):
+        c = AnalysisCache()
+        g = triangle_rich()
+        c.put(g, "thing", "value")
+        assert c.stats()["live_graphs"] == 1
+        ref = weakref.ref(g)
+        del g
+        gc.collect()
+        assert ref() is None
+        assert c.stats()["live_graphs"] == 0
+
+    def test_disabled_cache_passes_through(self):
+        c = AnalysisCache()
+        c.enabled = False
+        g = triangle_rich()
+        calls = []
+        c.lookup(g, "thing", lambda graph: calls.append(1) or "v")
+        c.lookup(g, "thing", lambda graph: calls.append(1) or "v")
+        assert len(calls) == 2
+        assert c.stats()["hits"] == 0 and c.stats()["misses"] == 0
+
+    def test_fingerprint_adoption(self):
+        c = AnalysisCache()
+        g1 = triangle_rich(seed=2)
+        g2 = triangle_rich(seed=2)
+        c.put(g1, "triangle_list", "expensive")
+        c.link_fingerprint(g1, "fp")
+        assert c.resolve_fingerprint("fp") is g1
+        assert c.adopt(g2, "fp") == 1
+        assert c.peek(g2, "triangle_list") == "expensive"
+        # A dead carrier resolves to nothing and adoption is a no-op.
+        del g1
+        gc.collect()
+        g3 = triangle_rich(seed=2)
+        c2 = AnalysisCache()
+        assert c2.resolve_fingerprint("fp") is None
+        assert c2.adopt(g3, "fp") == 0
+
+    def test_dead_fingerprint_links_self_prune(self):
+        """Collected carriers remove their own fingerprint entries, so the
+        link table does not grow with transient graphs."""
+        c = AnalysisCache()
+        for i in range(5):
+            g = triangle_rich(seed=i, n=20)
+            c.link_fingerprint(g, f"fp-{i}")
+        del g
+        gc.collect()
+        assert len(c._by_fingerprint) == 0
+        # Re-linking a fingerprint keeps the newest carrier even if the
+        # old one dies afterwards.
+        g1 = triangle_rich(seed=0, n=20)
+        g2 = triangle_rich(seed=1, n=20)
+        c.link_fingerprint(g1, "fp")
+        c.link_fingerprint(g2, "fp")
+        del g1
+        gc.collect()
+        assert c.resolve_fingerprint("fp") is g2
+
+    def test_stats_delta(self):
+        before = {"hits": 1, "misses": 2, "by_analysis": {"a": {"hits": 1, "misses": 2}}}
+        after = {
+            "hits": 4,
+            "misses": 2,
+            "by_analysis": {"a": {"hits": 1, "misses": 2}, "b": {"hits": 3, "misses": 0}},
+        }
+        d = stats_delta(before, after)
+        assert d == {"hits": 3, "misses": 0, "by_analysis": {"b": {"hits": 3, "misses": 0}}}
+
+
+class TestTriangleAnalyses:
+    def test_list_triangles_memoized(self, cache):
+        g = triangle_rich()
+        t1 = list_triangles(g)
+        t2 = list_triangles(g)
+        assert t1 is t2
+        assert cache.peek(g, "triangle_list") is t1
+
+    def test_count_reuses_cached_list(self, cache):
+        g = triangle_rich()
+        tl = list_triangles(g)
+        before = cache.stats()
+        assert count_triangles(g) == tl.count
+        delta = stats_delta(before, cache.stats())
+        assert delta["by_analysis"]["triangle_list"]["hits"] == 1
+        assert delta["misses"] == 0
+
+    def test_count_without_list_caches_scalar_only(self, cache):
+        g = triangle_rich(seed=7)
+        before = cache.stats()
+        c1 = count_triangles(g)
+        c2 = count_triangles(g)
+        assert c1 == c2
+        assert cache.peek(g, "triangle_list") is None
+        delta = stats_delta(before, cache.stats())
+        assert delta["by_analysis"]["triangle_count"] == {"hits": 1, "misses": 1}
+
+    def test_edge_triangle_counts_memoized(self, cache):
+        g = triangle_rich()
+        assert edge_triangle_counts(g) is edge_triangle_counts(g)
+
+    def test_cached_arrays_are_read_only(self):
+        """Shared cached buffers refuse in-place mutation — a caller
+        sorting/overwriting a result cannot poison later consumers."""
+        g = triangle_rich()
+        tl = list_triangles(g)
+        counts = edge_triangle_counts(g)
+        for arr in (tl.vertices, tl.edge_ids, counts):
+            with pytest.raises(ValueError, match="read-only"):
+                arr[...] = 0
+
+    def test_derived_graph_never_sees_parent_triangles(self, cache):
+        """Mutation-free invalidation: the child recomputes its own list."""
+        g = triangle_rich()
+        parent_list = list_triangles(g)
+        assert parent_list.count > 0
+        rng = np.random.default_rng(0)
+        child = g.keep_edges(rng.random(g.num_edges) < 0.5)
+        assert cache.peek(child, "triangle_list") is None
+        child_list = list_triangles(child)
+        assert child_list is not parent_list
+        assert child_list.count <= parent_list.count  # subgraph monotone
+        # And the parent's entry was left untouched.
+        assert cache.peek(g, "triangle_list") is parent_list
+
+
+class TestSessionIntegration:
+    def test_tr_multiseed_sweep_lists_triangles_exactly_once(self, cache):
+        """The acceptance guarantee: S TR seeds + the tc baseline = one
+        O(m^{3/2}) listing of the original graph."""
+        g = triangle_rich(seed=3)
+        session = Session(g, seed=0)
+        before = cache.stats()
+        for seed in (0, 1, 2):
+            session.grid(["EO-0.6-1-TR"], ["tc"], seed=seed)
+        delta = stats_delta(before, cache.stats())
+        assert delta["by_analysis"]["triangle_list"]["misses"] == 1
+        assert delta["by_analysis"]["triangle_list"]["hits"] >= 3
+
+    def test_grid_perf_reports_analysis_cache(self):
+        g = triangle_rich(seed=4)
+        session = Session(g, seed=0)
+        session.grid(["0.5-1-TR"], ["tc"])
+        perf = session.last_grid_perf
+        assert "analysis_cache" in perf
+        assert perf["analysis_cache"]["misses"] >= 1
+        assert "triangle_list" in perf["analysis_cache"]["by_analysis"]
+
+    def test_store_grid_perf_reports_analysis_cache(self, tmp_path):
+        g = triangle_rich(seed=5)
+        session = Session(g, seed=0, store=tmp_path / "store")
+        session.grid(["0.5-1-TR"], ["tc"])
+        perf = session.last_grid_perf
+        assert perf["analysis_cache"]["misses"] >= 1
+        # Warm replay does no structural analysis at all.
+        warm = Session(g, seed=0, store=tmp_path / "store")
+        warm.grid(["0.5-1-TR"], ["tc"])
+        assert warm.last_grid_perf["analysis_cache"] == {
+            "hits": 0,
+            "misses": 0,
+            "by_analysis": {},
+        }
+
+    def test_run_sweep_bench_record_carries_analysis_counts(self):
+        from repro.runner.harness import SweepSpec, run_sweep
+
+        g = triangle_rich(seed=6)
+        spec = SweepSpec(
+            name="tr-cache-probe",
+            graphs=("probe",),
+            schemes=("EO-0.6-1-TR",),
+            algorithms=("tc",),
+            seeds=(0, 1, 2),
+        )
+        result = run_sweep(spec, graph_loader=lambda name: g)
+        record = result.bench_record()
+        assert record["analysis_misses"] >= 1
+        assert record["analysis_hits"] >= 2
+        # Per-grid detail: exactly one grid misses the triangle list.
+        listing_misses = sum(
+            grid["analysis_cache"]["by_analysis"]
+            .get("triangle_list", {})
+            .get("misses", 0)
+            for grid in record["grids"]
+        )
+        assert listing_misses == 1
+
+
+class TestSnapshotAdoption:
+    def test_store_reload_adopts_live_twin_analyses(self, tmp_path, cache):
+        from repro.runner.store import ArtifactStore
+
+        g = triangle_rich(seed=8)
+        tl = list_triangles(g)
+        store = ArtifactStore(tmp_path / "store")
+        fp, _ = store.add_graph(g)
+        reloaded = store.load_graph(fp)
+        assert reloaded is not g
+        assert cache.peek(reloaded, "triangle_list") is tl
+        assert cache.peek(reloaded, "fingerprint") == fp

@@ -102,6 +102,44 @@ class TestRunKernels:
         assert np.array_equal(sg1.buffer.edge_deleted, sg2.buffer.edge_deleted)
 
 
+class TestElementSpace:
+    """Views are enumerated lazily — no up-front n/m-sized Python list."""
+
+    def test_views_are_generated_on_demand(self, er300):
+        from repro.core.engine import _ElementSpace
+
+        space = _ElementSpace(er300, RandomUniformKernel(), SG(er300))
+        assert space.count == er300.num_edges
+        it = space.views(0, space.count)
+        assert iter(it) is it  # a generator, not a materialized list
+        first = next(it)
+        assert first.id == 0
+
+    def test_chunk_ranges_partition_all_scopes(self, plc300):
+        from repro.algorithms.triangles import count_triangles
+        from repro.core.engine import _ElementSpace
+
+        class TriangleProbe(TriangleKernel):
+            pass
+
+        sg = SG(plc300)
+        space = _ElementSpace(plc300, TriangleProbe(), sg)
+        assert space.count == count_triangles(plc300)
+        mid = space.count // 2
+        halves = list(space.views(0, mid)) + list(space.views(mid, space.count))
+        assert len(halves) == space.count
+        assert all(len(t.edge_ids) == 3 for t in halves)
+
+    def test_early_stop_constructs_no_further_views(self, er300):
+        from repro.core.engine import _ElementSpace
+
+        space = _ElementSpace(er300, CountingVertexKernel(), SG(er300))
+        it = space.views(0, space.count)
+        seen = [next(it) for _ in range(5)]
+        assert [v.id for v in seen] == [0, 1, 2, 3, 4]
+        it.close()  # abandoning the sweep allocates nothing more
+
+
 class TestRuntime:
     def test_single_round_for_nonconverging_schemes(self, er300):
         runtime = SlimGraphRuntime(RandomUniformKernel(), params={"p": 0.5})

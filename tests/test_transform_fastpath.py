@@ -1,0 +1,179 @@
+"""Property tests: the sort-free O(m) transforms are buffer-identical to a
+full rebuild.
+
+``keep_edges`` / ``delete_edges`` / ``remove_vertices`` derive the child's
+CSR arrays from the parent's without a ``lexsort``; these tests assert the
+result is *bit-identical* — every buffer, including ``arc_edge_ids`` order
+— to both the legacy constructor rebuild (``_keep_edges_rebuild``) and a
+``from_edges`` rebuild, over random directed/undirected, weighted and
+unweighted graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.csr import CSRGraph
+
+
+@st.composite
+def random_graphs(draw, max_n=28, max_m=110):
+    """Random graphs across the four (directed × weighted) quadrants."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    directed = draw(st.booleans())
+    weighted = draw(st.booleans())
+    weights = None
+    if weighted:
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=m,
+                max_size=m,
+            )
+        )
+    return CSRGraph.from_edges(n, src, dst, weights, directed=directed)
+
+
+def assert_buffers_identical(a: CSRGraph, b: CSRGraph) -> None:
+    assert a.n == b.n and a.directed == b.directed
+    assert np.array_equal(a.edge_src, b.edge_src)
+    assert np.array_equal(a.edge_dst, b.edge_dst)
+    if a.edge_weights is None:
+        assert b.edge_weights is None
+    else:
+        assert np.array_equal(a.edge_weights, b.edge_weights)
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.arc_edge_ids, b.arc_edge_ids)
+    for name in ("edge_src", "edge_dst", "indptr", "indices", "arc_edge_ids"):
+        assert getattr(a, name).dtype == getattr(b, name).dtype
+
+
+@given(random_graphs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=120, deadline=None)
+def test_keep_edges_identical_to_rebuild(g, seed):
+    rng = np.random.default_rng(seed)
+    mask = rng.random(g.num_edges) < rng.uniform(0.0, 1.0)
+    fast = g.keep_edges(mask)
+    legacy = g._keep_edges_rebuild(mask)
+    w = None if g.edge_weights is None else g.edge_weights[mask]
+    from_scratch = CSRGraph.from_edges(
+        g.n, g.edge_src[mask], g.edge_dst[mask], w, directed=g.directed
+    )
+    assert_buffers_identical(fast, legacy)
+    assert_buffers_identical(fast, from_scratch)
+    fast.validate()
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_keep_edges_all_and_none(g):
+    everything = g.keep_edges(np.ones(g.num_edges, dtype=bool))
+    assert_buffers_identical(everything, g)
+    nothing = g.keep_edges(np.zeros(g.num_edges, dtype=bool))
+    assert nothing.num_edges == 0 and nothing.n == g.n
+    nothing.validate()
+
+
+@given(random_graphs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_delete_edges_identical_to_rebuild(g, seed):
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(0, g.num_edges + 1))
+    victims = rng.choice(g.num_edges, size=k, replace=True) if k else []
+    fast = g.delete_edges(victims)
+    mask = np.ones(g.num_edges, dtype=bool)
+    mask[np.asarray(victims, dtype=np.int64)] = False
+    assert_buffers_identical(fast, g._keep_edges_rebuild(mask))
+    fast.validate()
+
+
+@given(random_graphs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_remove_vertices_identical_to_rebuild(g, seed):
+    rng = np.random.default_rng(seed)
+    victims = np.flatnonzero(rng.random(g.n) < 0.3)
+    gone = np.zeros(g.n, dtype=bool)
+    gone[victims] = True
+    edge_mask = ~(gone[g.edge_src] | gone[g.edge_dst])
+
+    fast = g.remove_vertices(victims)
+    assert_buffers_identical(fast, g._keep_edges_rebuild(edge_mask))
+    fast.validate()
+
+    # relabel=True against the legacy monotone-renumber rebuild.
+    relabeled = g.remove_vertices(victims, relabel=True)
+    sub = g._keep_edges_rebuild(edge_mask)
+    new_id = np.cumsum(~gone) - 1
+    w = sub.edge_weights
+    legacy = CSRGraph(
+        int((~gone).sum()),
+        new_id[sub.edge_src],
+        new_id[sub.edge_dst],
+        w,
+        directed=g.directed,
+    )
+    assert_buffers_identical(relabeled, legacy)
+    relabeled.validate()
+
+
+@given(random_graphs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_with_weights_shares_structure(g, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.random(g.num_edges)
+    gw = g.with_weights(w)
+    assert gw.indptr is g.indptr and gw.indices is g.indices
+    assert gw.arc_edge_ids is g.arc_edge_ids
+    assert np.array_equal(gw.edge_weights, w)
+    gw.validate()
+    back = gw.with_weights(None)
+    assert back.edge_weights is None
+    assert_buffers_identical(
+        back, CSRGraph(g.n, g.edge_src, g.edge_dst, None, directed=g.directed)
+    )
+
+
+class TestDeleteEdgesValidation:
+    def setup_method(self):
+        self.g = CSRGraph.from_edges(4, [0, 1, 2], [1, 2, 3])
+
+    def test_negative_edge_id_rejected(self):
+        with pytest.raises(ValueError, match=r"edge id -1 out of range"):
+            self.g.delete_edges([-1])
+
+    def test_out_of_range_edge_id_rejected(self):
+        with pytest.raises(ValueError, match=r"edge id 3 out of range"):
+            self.g.delete_edges([0, 3])
+
+    def test_error_names_the_offending_id(self):
+        with pytest.raises(ValueError, match=r"edge id -7"):
+            self.g.delete_edges([1, -7, 2])
+
+    def test_valid_ids_still_work(self):
+        assert self.g.delete_edges([0, 0, 2]).num_edges == 1
+
+    def test_empty_is_noop(self):
+        assert self.g.delete_edges([]).num_edges == 3
+
+
+class TestRemoveVerticesValidation:
+    def setup_method(self):
+        self.g = CSRGraph.from_edges(4, [0, 1, 2], [1, 2, 3])
+
+    def test_negative_vertex_id_rejected(self):
+        with pytest.raises(ValueError, match=r"vertex id -2 out of range"):
+            self.g.remove_vertices([-2])
+
+    def test_out_of_range_vertex_id_rejected(self):
+        with pytest.raises(ValueError, match=r"vertex id 4 out of range"):
+            self.g.remove_vertices([4])
+
+
+def test_with_weights_validates_length():
+    g = CSRGraph.from_edges(3, [0, 1], [1, 2])
+    with pytest.raises(ValueError, match="match the number of edges"):
+        g.with_weights([1.0])
