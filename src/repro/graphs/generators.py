@@ -24,7 +24,12 @@ import numpy as np
 
 from repro.graphs.csr import CSRGraph
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_positive, check_probability
+from repro.utils.validation import (
+    check_integer,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
 
 __all__ = [
     "erdos_renyi",
@@ -55,11 +60,14 @@ def erdos_renyi(n: int, *, p: float | None = None, m: int | None = None, seed=No
     check_positive(n, "n")
     rng = as_generator(seed)
     if (p is None) == (m is None):
-        raise ValueError("specify exactly one of p or m")
+        raise ValueError("specify exactly one of p or m (p and m are mutually exclusive)")
     total_pairs = n * (n - 1) // 2
     if p is not None:
         check_probability(p, "p")
         m = int(rng.binomial(total_pairs, p)) if total_pairs else 0
+    else:
+        check_integer(m, "m")
+        check_nonnegative(m, "m")
     if m > total_pairs:
         raise ValueError(f"m={m} exceeds the number of vertex pairs {total_pairs}")
     # Sample distinct pair ranks without replacement, decode to (u, v).
@@ -110,10 +118,15 @@ def rmat(
     The skewed quadrant probabilities produce the heavy-tailed degree
     distributions of the paper's web/social datasets.
     """
-    check_positive(scale, "scale")
+    for value, name in ((scale, "scale"), (edge_factor, "edge_factor")):
+        check_integer(value, name)
+        check_positive(value, name)
     d = 1.0 - a - b - c
     if d < -1e-9 or min(a, b, c) < 0:
-        raise ValueError("RMAT probabilities must be nonnegative and sum to <= 1")
+        raise ValueError(
+            "RMAT probabilities a, b, c must be nonnegative and sum to <= 1, "
+            f"got a={a}, b={b}, c={c}"
+        )
     rng = as_generator(seed)
     n = 1 << scale
     m = edge_factor * n
@@ -144,7 +157,7 @@ def barabasi_albert(n: int, m_attach: int, *, seed=None) -> CSRGraph:
     check_positive(n, "n")
     check_positive(m_attach, "m_attach")
     if m_attach >= n:
-        raise ValueError("m_attach must be < n")
+        raise ValueError(f"m_attach must be < n, got m_attach={m_attach} with n={n}")
     rng = as_generator(seed)
     src = np.empty((n - m_attach) * m_attach, dtype=np.int64)
     dst = np.empty_like(src)
@@ -182,7 +195,7 @@ def powerlaw_cluster(n: int, m_attach: int, triangle_p: float, *, seed=None) -> 
     check_positive(m_attach, "m_attach")
     check_probability(triangle_p, "triangle_p")
     if m_attach >= n:
-        raise ValueError("m_attach must be < n")
+        raise ValueError(f"m_attach must be < n, got m_attach={m_attach} with n={n}")
     rng = as_generator(seed)
     src: list[int] = []
     dst: list[int] = []
@@ -226,8 +239,10 @@ def watts_strogatz(n: int, k: int, beta: float, *, seed=None) -> CSRGraph:
     contrast to power-law graphs.
     """
     check_positive(n, "n")
-    if k % 2 or k <= 0 or k >= n:
-        raise ValueError("k must be even and 0 < k < n")
+    if k <= 0 or k >= n:
+        raise ValueError(f"k must satisfy 0 < k < n, got k={k} with n={n}")
+    if k % 2:
+        raise ValueError(f"k must be even (each vertex links k/2 hops each way), got k={k}")
     check_probability(beta, "beta")
     rng = as_generator(seed)
     base = np.arange(n, dtype=np.int64)
@@ -302,7 +317,7 @@ def path_graph(n: int) -> CSRGraph:
 
 def cycle_graph(n: int) -> CSRGraph:
     if n < 3:
-        raise ValueError("cycle needs n >= 3")
+        raise ValueError(f"n must be >= 3 for a cycle, got n={n}")
     base = np.arange(n, dtype=np.int64)
     return CSRGraph.from_edges(n, base, (base + 1) % n)
 
@@ -311,7 +326,7 @@ def balanced_tree(branching: int, height: int) -> CSRGraph:
     """Complete ``branching``-ary tree of the given height."""
     check_positive(branching, "branching")
     if height < 0:
-        raise ValueError("height must be >= 0")
+        raise ValueError(f"height must be >= 0, got height={height}")
     n = (branching ** (height + 1) - 1) // (branching - 1) if branching > 1 else height + 1
     child = np.arange(1, n, dtype=np.int64)
     parent = (child - 1) // branching

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 
 def check_probability(value: float, name: str = "p") -> float:
     """Validate that ``value`` lies in [0, 1]; returns it as ``float``."""
@@ -26,4 +28,11 @@ def check_nonnegative(value, name: str = "value"):
 def check_in_range(value, low, high, name: str = "value"):
     if not low <= value <= high:
         raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_integer(value, name: str = "value"):
+    """Validate that ``value`` is a true integer (bool is rejected)."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
     return value

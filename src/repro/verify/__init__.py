@@ -1,0 +1,39 @@
+"""Differential-oracle and metamorphic verification subsystem.
+
+The library's standing safety net (the complement of the example-based
+unit tests): naive, obviously-correct reference implementations of the
+core registered algorithms (:mod:`repro.verify.oracles`), metamorphic
+invariants of the compression pipeline expressed against the Table 3
+predicates (:mod:`repro.verify.properties`), and a deterministic fuzz
+driver sweeping both over a generator x directedness x weights x seed
+matrix with replayable failure artifacts (:mod:`repro.verify.fuzz`).
+
+Run it::
+
+    python -m repro.verify --smoke            # CI budget, < 2 min
+    python -m repro.verify                    # full seed budget
+    python -m repro.verify replay --case powerlaw_cluster.und.wtd.s2
+"""
+
+from repro.verify.fuzz import (
+    FAMILIES,
+    FuzzCase,
+    build_cases,
+    build_graph,
+    replay_command,
+    run_case,
+    run_matrix,
+)
+from repro.verify.oracles import ORACLES, OracleEntry
+
+__all__ = [
+    "FAMILIES",
+    "FuzzCase",
+    "ORACLES",
+    "OracleEntry",
+    "build_cases",
+    "build_graph",
+    "replay_command",
+    "run_case",
+    "run_matrix",
+]

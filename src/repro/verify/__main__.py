@@ -1,0 +1,6 @@
+"""``python -m repro.verify`` — the fuzz harness CLI (see fuzz.main)."""
+
+from repro.verify.fuzz import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,3 +79,84 @@ class TestRecommend:
         assert rec.feasible
         sub = make_scheme(rec.scheme_spec).compress(g, seed=0).graph
         assert kruskal(sub).total_weight == pytest.approx(kruskal(g).total_weight)
+
+
+class TestFamilyClassification:
+    """The internal spec -> feasibility-family mapping (PR-5 coverage)."""
+
+    def test_tr_spellings_map_to_tr(self):
+        from repro.analytics.guidance import _family
+
+        assert _family("EO-0.8-1-TR") == "tr"
+        assert _family("0.5-1-TR") == "tr"
+        assert _family("tr(p=0.5, variant=max_weight)") == "tr"
+
+    def test_named_schemes_map_to_themselves(self):
+        from repro.analytics.guidance import _family
+
+        for head in ("spanner", "uniform", "spectral", "summarization",
+                     "low_degree", "cut_sparsifier"):
+            assert _family(f"{head}(x=1)") == head
+
+    def test_every_ranked_spec_has_a_support_entry(self):
+        """No recommendation silently falls back to 'supports anything'."""
+        from repro.analytics.guidance import _RANKINGS, _SUPPORTS, _family
+
+        for rankings in _RANKINGS.values():
+            for template, _ in rankings:
+                spec = template.format(p=0.5, k=4, eps=0.2)
+                assert _family(spec) in _SUPPORTS, spec
+
+
+class TestRankingStability:
+    def test_repeated_calls_identical(self):
+        for prop in PRESERVABLE_PROPERTIES:
+            assert recommend(prop) == recommend(prop)
+
+    def test_order_is_the_documented_table3_order(self):
+        specs = [r.scheme_spec.split("(")[0] for r in recommend("pagerank")]
+        assert specs == ["EO-0.8-1-TR", "spectral", "uniform"]
+
+    def test_graph_feasibility_does_not_reorder(self):
+        g = gen.grid_2d(6, 6)  # triangle-free: TR infeasible but still first
+        bare = [r.scheme_spec for r in recommend("connected_components")]
+        with_graph = [r.scheme_spec for r in recommend("connected_components", g)]
+        assert bare == with_graph
+
+    def test_properties_list_is_sorted_and_stable(self):
+        assert PRESERVABLE_PROPERTIES == sorted(PRESERVABLE_PROPERTIES)
+        assert len(PRESERVABLE_PROPERTIES) >= 10
+
+
+class TestDegenerateInputs:
+    def test_empty_graph(self):
+        from repro.graphs.csr import CSRGraph
+
+        for prop in PRESERVABLE_PROPERTIES:
+            recs = recommend(prop, CSRGraph.empty(0))
+            assert recs and all(isinstance(r.feasible, bool) for r in recs)
+
+    def test_edgeless_graph_keeps_tr_feasible(self):
+        """num_edges == 0 skips the triangle probe (nothing to reduce is
+        not the same as provably triangle-free input data)."""
+        from repro.graphs.csr import CSRGraph
+
+        recs = recommend("connected_components", CSRGraph.empty(5))
+        tr = [r for r in recs if "TR" in r.scheme_spec][0]
+        assert tr.feasible
+
+    def test_single_edge_graph_marks_tr_infeasible(self):
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.from_edges(2, [0], [1])
+        recs = recommend("connected_components", g)
+        tr = [r for r in recs if "TR" in r.scheme_spec][0]
+        assert not tr.feasible
+        assert "triangle-free" in tr.caveat
+
+    def test_directed_weighted_combination(self):
+        g = with_uniform_weights(gen.rmat(6, 4, seed=0, directed=True), seed=1)
+        recs = recommend("storage", g)
+        spanner = [r for r in recs if r.scheme_spec.startswith("spanner")][0]
+        assert not spanner.feasible
+        assert "undirected" in spanner.caveat

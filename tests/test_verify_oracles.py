@@ -1,0 +1,172 @@
+"""Tests for the differential oracles: naive references vs the engine."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.components import connected_components
+from repro.algorithms.kcore import core_numbers
+from repro.algorithms.mst import kruskal
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import delta_stepping, dijkstra
+from repro.algorithms.triangles import count_triangles, triangles_per_vertex
+from repro.graphs import generators as gen
+from repro.graphs.weights import with_uniform_weights
+from repro.verify import oracles
+from repro.verify.oracles import ORACLES
+
+
+class TestAdjacency:
+    def test_undirected_both_directions(self, tiny):
+        adj = oracles.adjacency(tiny)
+        assert sorted(v for v, _ in adj[0]) == [1, 2]
+        assert sorted(v for v, _ in adj[2]) == [0, 1]
+        assert [w for _, w in adj[0]] == [1.0, 1.0]
+
+    def test_directed_out_only(self):
+        g = gen.rmat(4, 2, seed=0, directed=True)
+        adj = oracles.adjacency(g)
+        assert sum(len(lst) for lst in adj.values()) == g.num_edges
+
+    def test_weights_flow_through(self, tiny):
+        w = with_uniform_weights(tiny, seed=0)
+        adj = oracles.adjacency(w)
+        weights = sorted(wt for lst in adj.values() for _, wt in lst)
+        # every canonical edge weight appears twice (both directions)
+        assert len(weights) == 2 * w.num_edges
+
+
+class TestIndividualOracles:
+    def test_bfs_levels_match_engine(self, plc300):
+        assert oracles.oracle_bfs_levels(plc300, 0) == bfs(plc300, 0).level.tolist()
+
+    def test_sssp_matches_dijkstra_and_delta(self):
+        g = with_uniform_weights(gen.powerlaw_cluster(80, 3, 0.4, seed=3), seed=1)
+        ref = oracles.oracle_sssp_distances(g, 0)
+        assert np.allclose(dijkstra(g, 0).distance, ref)
+        assert np.allclose(delta_stepping(g, 0).distance, ref)
+
+    def test_sssp_disconnected_inf(self):
+        g = gen.disjoint_union(gen.path_graph(3), gen.path_graph(3))
+        ref = oracles.oracle_sssp_distances(g, 0)
+        assert ref[2] == 2.0
+        assert math.isinf(ref[4])
+
+    def test_pagerank_close_to_engine(self, plc300):
+        ref = oracles.oracle_pagerank(plc300)
+        eng = pagerank(plc300).ranks
+        assert np.allclose(eng, ref, atol=1e-8)
+        assert math.isclose(sum(ref), 1.0, rel_tol=1e-9)
+
+    def test_pagerank_dangling_mass(self):
+        # Directed path 0 -> 1 -> 2: vertex 2 is dangling.
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.from_edges(3, [0, 1], [1, 2], directed=True)
+        ref = oracles.oracle_pagerank(g)
+        assert np.allclose(pagerank(g).ranks, ref, atol=1e-8)
+
+    def test_component_labels(self):
+        g = gen.disjoint_union(gen.cycle_graph(4), gen.path_graph(3), gen.star_graph(5))
+        ref = oracles.oracle_component_labels(g)
+        res = connected_components(g)
+        assert ref == res.labels.tolist()
+        assert len(set(ref)) == res.num_components == 3
+
+    def test_triangle_count_and_per_vertex(self, plc300):
+        assert oracles.oracle_triangle_count(plc300) == count_triangles(plc300)
+        assert (
+            oracles.oracle_triangles_per_vertex(plc300)
+            == triangles_per_vertex(plc300).tolist()
+        )
+
+    def test_clustering_degenerate_degrees(self):
+        g = gen.star_graph(5)  # hub degree 4, leaves degree 1: all zero
+        assert oracles.oracle_clustering_coefficients(g) == [0.0] * 5
+        k4 = gen.complete_graph(4)
+        assert oracles.oracle_clustering_coefficients(k4) == [1.0] * 4
+
+    def test_mst_weight(self):
+        g = with_uniform_weights(gen.powerlaw_cluster(60, 3, 0.5, seed=2), seed=5)
+        assert math.isclose(
+            oracles.oracle_mst_weight(g), kruskal(g).total_weight, rel_tol=1e-9
+        )
+
+    def test_mst_weight_forest(self):
+        g = gen.disjoint_union(gen.path_graph(4), gen.cycle_graph(3))
+        # Unweighted: forest weight == n - #components = 7 - 2
+        assert oracles.oracle_mst_weight(g) == 5.0
+
+    def test_core_numbers(self, plc300):
+        assert (
+            oracles.oracle_core_numbers(plc300)
+            == core_numbers(plc300).core.tolist()
+        )
+
+    def test_core_numbers_known_shapes(self):
+        assert oracles.oracle_core_numbers(gen.complete_graph(5)) == [4] * 5
+        assert oracles.oracle_core_numbers(gen.path_graph(4)) == [1] * 4
+        strip = oracles.oracle_core_numbers(gen.triangle_strip(3))
+        assert max(strip) == 2
+
+    def test_degree_counts(self, grid10):
+        ref = oracles.oracle_degree_counts(grid10)
+        vals, counts = np.unique(grid10.degrees, return_counts=True)
+        assert ref == dict(zip(vals.tolist(), counts.tolist()))
+
+
+class TestOracleTable:
+    def test_battery_breadth(self):
+        """The acceptance floor: at least 8 oracles, each engine-paired."""
+        assert len(ORACLES) >= 8
+        for entry in ORACLES.values():
+            assert callable(entry.engine) and callable(entry.oracle)
+            assert entry.adapter in {
+                "scalar",
+                "distribution",
+                "ordering",
+                "vertex_set",
+                "traversal",
+            }
+
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_every_entry_agrees_on_fixture(self, name, plc300):
+        entry = ORACLES[name]
+        assert entry.compare(entry.engine(plc300), entry.oracle(plc300)) == []
+
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_directed_entries_agree(self, name):
+        entry = ORACLES[name]
+        if not entry.directed_ok:
+            pytest.skip("undirected-only oracle")
+        g = gen.rmat(5, 4, seed=1, directed=True)
+        assert entry.compare(entry.engine(g), entry.oracle(g)) == []
+
+    def test_broken_oracle_is_caught(self, plc300):
+        entry = dataclasses.replace(
+            ORACLES["tc"],
+            oracle=lambda g: float(oracles.oracle_triangle_count(g) + 1),
+        )
+        mismatches = entry.compare(entry.engine(plc300), entry.oracle(plc300))
+        assert mismatches and "engine=" in mismatches[0]
+
+
+class TestComparators:
+    def test_compare_vector_inf_aware(self):
+        inf = float("inf")
+        assert oracles.compare_vector([1.0, inf], [1.0, inf]) == []
+        assert oracles.compare_vector([1.0, inf], [1.0, 2.0]) != []
+        assert oracles.compare_vector([1.0], [1.0, 2.0]) != []
+
+    def test_compare_scalar_modes(self):
+        assert oracles.compare_scalar(3.0, 3.0, exact=True) == []
+        assert oracles.compare_scalar(3.0, 3.0 + 1e-12) == []  # fp noise ok
+        assert oracles.compare_scalar(3.0, 3.0 + 1e-12, exact=True) != []
+        assert oracles.compare_scalar(3.0, 4.0) != []
+
+    def test_compare_exact_ints_reports_position(self):
+        msgs = oracles.compare_exact_ints([1, 2, 3], [1, 9, 3], label="core")
+        assert msgs and "vertex 1" in msgs[0]
