@@ -109,7 +109,9 @@ from repro.analytics import (
 from repro import theory
 from repro import distributed
 from repro import runner
+from repro import service
 from repro.runner import ArtifactStore, run_sweep
+from repro.service import JobQueue, JobSpec, execute_job
 
 __version__ = "1.0.0"
 
@@ -173,7 +175,11 @@ __all__ = [
     "theory",
     "distributed",
     "runner",
+    "service",
     "ArtifactStore",
     "run_sweep",
+    "JobQueue",
+    "JobSpec",
+    "execute_job",
     "__version__",
 ]

@@ -725,9 +725,15 @@ class Session:
         if not runners:
             raise ValueError("grid needs at least one algorithm")
 
-        requested = (
-            None if metrics is None else [resolve_metric(m) for m in metrics]
-        )
+        requested = None
+        if metrics is not None:
+            # Dedupe by canonical entry ("kl" and "kl_divergence" are one
+            # metric), keeping first-occurrence order for the cell rows.
+            requested = []
+            for m in metrics:
+                entry = resolve_metric(m)
+                if entry not in requested:
+                    requested.append(entry)
         plans: list[list[MetricEntry]] = []
         for runner in runners:
             if requested is None:

@@ -14,6 +14,14 @@ against a warm store replays stored cells with **zero recomputation** —
 the CI ``bench-smoke`` job asserts exactly that by running the ``smoke``
 sweep twice and checking the second record's ``cache_misses == 0``.
 
+Execution is delegated to the transport-neutral job model
+(:mod:`repro.service.jobs`): each sweep graph becomes one
+:class:`~repro.service.jobs.JobSpec` run through
+:func:`~repro.service.jobs.execute_job` — the very scheduler the
+compression service's queue and HTTP front-end use — so CLI sweeps,
+pooled sweeps, and HTTP submissions of the same grid populate (and
+replay) identical store cells.
+
 The registry ships the paper's headline experiments (``fig5``,
 ``table5``) plus the tiny ``smoke`` sweep; benchmark scripts and external
 callers add their own with :func:`register_sweep`.  The CLI
@@ -28,7 +36,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.analytics.grid import SweepTable
-from repro.analytics.session import Session
+from repro.service.jobs import JobSpec, execute_job
 from repro.utils.timer import stopwatch
 
 __all__ = [
@@ -165,33 +173,14 @@ def run_sweep(
     }
     with stopwatch() as wall:
         for graph_name in spec.graphs:
-            graph = loader(graph_name)
-            session = Session(
-                graph,
-                seed=spec.seeds[0],
-                bfs_root=spec.bfs_root,
-                pr_iterations=spec.pr_iterations,
-                store=store,
-                jobs=jobs,
+            job = JobSpec.from_sweep(spec, graph_name)
+            result = execute_job(
+                job, store=store, jobs=jobs, graph_loader=loader
             )
-            for seed in spec.seeds:
-                table = session.grid(
-                    spec.schemes, spec.algorithms, spec.metrics, seed=seed
-                )
-                cells.extend(replace(c, graph=graph_name) for c in table)
-                grid_perf = dict(session.last_grid_perf)
-                grid_perf.pop("store_stats", None)
-                # Cumulative per session: stays at one per algorithm no
-                # matter how many schemes/seeds scored against it.
-                grid_perf["baseline_computations"] = session.baseline_computations
-                # Flatten the structural-analysis cache counters so they
-                # total like the store counters (detail stays per grid).
-                analysis = grid_perf.get("analysis_cache") or {}
-                grid_perf["analysis_hits"] = analysis.get("hits", 0)
-                grid_perf["analysis_misses"] = analysis.get("misses", 0)
-                for key in totals:
-                    totals[key] += grid_perf.get(key, 0)
-                grids.append({"graph": graph_name, "seed": seed, **grid_perf})
+            cells.extend(result.table)
+            grids.extend(result.perf["grids"])
+            for key in totals:
+                totals[key] += result.perf.get(key, 0)
 
     table = SweepTable(cells)
     algorithm_seconds = sum(

@@ -279,13 +279,23 @@ def _assemble(tasks, runners, results) -> list[GridCell]:
 
     Stored payloads carry the canonical bound algorithm label; the session
     may have requested the cell under a battery short name (``"pr"``), so
-    the display label is rewritten to this call's surface.
+    the display label is rewritten to this call's surface.  Replayed
+    payloads may also carry the *writer's* metric order (store keys are
+    metric-order-free), so rows are re-sorted to this call's requested
+    order — a warm replay is row-for-row identical to the in-memory grid
+    no matter how the cells were first spelled.
     """
     cells: list[GridCell] = []
     for task in tasks:
         label = runners[task.runner_index].label
-        for data in results[(task.scheme_index, task.runner_index)]:
-            cell = GridCell.from_dict(data)
+        rows = [
+            GridCell.from_dict(data)
+            for data in results[(task.scheme_index, task.runner_index)]
+        ]
+        if len(task.metrics) > 1:
+            order = {m: i for i, m in enumerate(task.metrics)}
+            rows.sort(key=lambda c: order.get(c.metric, len(order)))
+        for cell in rows:
             if cell.algorithm != label or cell.seed != task.seed:
                 cell = replace(cell, algorithm=label, seed=task.seed)
             cells.append(cell)

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -78,6 +79,25 @@ def _scheme_json(scheme) -> str:
     else:
         raise TypeError(f"cannot key scheme surface {scheme!r}")
     return _canonical_json(spec.to_dict())
+
+
+def _canonical_metrics(metrics) -> tuple[str, ...]:
+    """Sorted canonical metric names — the key's order-free normal form.
+
+    ``["kl", "l2"]`` and ``["l2", "kl"]`` (and alias spellings of either)
+    request the same computation, so they must resolve to the same cell
+    instead of recomputing; names unknown to the metric registry pass
+    through verbatim (the store also keys third-party payloads).
+    """
+    from repro.metrics.registry import resolve_metric
+
+    names = set()
+    for metric in metrics:
+        try:
+            names.add(resolve_metric(metric).name)
+        except ValueError:
+            names.add(str(metric))
+    return tuple(sorted(names))
 
 
 def _algorithm_json(algorithm) -> str:
@@ -131,6 +151,10 @@ class StoreStats:
     ``corrupt`` counts reads that found an unreadable record (a subset of
     misses), ``invalidated`` reads rejected by schema version (also
     misses); ``writes`` counts stored records.
+
+    Counter updates are serialized through a lock: the compression
+    service shares one store across worker threads, and bare ``+= 1``
+    increments would drop counts under concurrent submission.
     """
 
     hits: int = 0
@@ -139,14 +163,24 @@ class StoreStats:
     corrupt: int = 0
     invalidated: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def add(self, **deltas: int) -> None:
+        """Atomically bump the named counters (``stats.add(misses=1)``)."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
     def snapshot(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "writes": self.writes,
-            "corrupt": self.corrupt,
-            "invalidated": self.invalidated,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "corrupt": self.corrupt,
+                "invalidated": self.invalidated,
+            }
 
 
 class ArtifactStore:
@@ -187,14 +221,16 @@ class ArtifactStore:
 
         ``scheme``/``algorithm`` accept spec strings, spec objects, or
         configured scheme/bound-algorithm objects; all spellings of one
-        configuration key identically.
+        configuration key identically.  Metric names are resolved to
+        their canonical registry names and sorted, so metric order (and
+        aliasing) never splits one computation across two cells.
         """
         return CellKey(
             graph=str(graph_fingerprint),
             scheme=_scheme_json(scheme),
             seed=seed,
             algorithm=_algorithm_json(algorithm),
-            metrics=tuple(metrics),
+            metrics=_canonical_metrics(metrics),
         )
 
     # -- paths -------------------------------------------------------------- #
@@ -220,24 +256,21 @@ class ArtifactStore:
         try:
             record = json.loads(path.read_text())
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.add(misses=1)
             return None
         except (OSError, ValueError, UnicodeDecodeError):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self.stats.add(corrupt=1, misses=1)
             return None
         if (
             not isinstance(record, dict)
             or record.get("schema_version") != self.schema_version
         ):
-            self.stats.invalidated += 1
-            self.stats.misses += 1
+            self.stats.add(invalidated=1, misses=1)
             return None
         if record.get("key") != key.to_dict() or "payload" not in record:
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self.stats.add(corrupt=1, misses=1)
             return None
-        self.stats.hits += 1
+        self.stats.add(hits=1)
         return record["payload"]
 
     def put_cells(self, key: CellKey, payload: dict, arrays=None) -> None:
@@ -261,7 +294,7 @@ class ArtifactStore:
             self._record_path(key),
             lambda fh: fh.write(json.dumps(record, sort_keys=True).encode()),
         )
-        self.stats.writes += 1
+        self.stats.add(writes=1)
 
     def load_arrays(self, key: CellKey) -> dict | None:
         """The ``.npz`` sidecar of ``key`` as ``{name: ndarray}``, or None."""

@@ -1,0 +1,34 @@
+"""Compression-as-a-service: the long-running front tier.
+
+The batch substrate (sessions, the artifact store, the process pool) made
+identical work free to repeat; this subsystem makes it *servable*:
+
+- :mod:`repro.service.jobs` — the transport-neutral job model
+  (:class:`~repro.service.jobs.JobSpec` with canonical JSON identity) and
+  :func:`~repro.service.jobs.execute_job`, the one scheduler the CLI
+  harness, the process pool, and the HTTP front-end all run through;
+- :mod:`repro.service.queue` — a threaded job queue
+  (``queued → running → done/failed``) with bounded worker concurrency
+  and **in-flight dedupe** by job key: concurrent identical submissions
+  coalesce onto one computation, warm-store work replays instantly;
+- :mod:`repro.service.http` — a stdlib-only JSON API
+  (``POST /jobs``, ``GET /jobs/<id>[/result]``, ``GET /metrics``,
+  ``GET /healthz``) over :class:`http.server.ThreadingHTTPServer`;
+- :mod:`repro.service.dashboard` — the server-rendered admin page
+  (queue depth, per-state counts, store hit/miss, recent-job latency).
+
+Boot it with ``python -m repro.service --store PATH --jobs N --port P``;
+see ``examples/service_demo.py`` for the client side.
+"""
+
+from repro.service.jobs import JobResult, JobSpec, execute_job, load_job_graph
+from repro.service.queue import JobQueue, JobRecord
+
+__all__ = [
+    "JobQueue",
+    "JobRecord",
+    "JobResult",
+    "JobSpec",
+    "execute_job",
+    "load_job_graph",
+]

@@ -1,0 +1,189 @@
+"""Server-rendered admin page: queue, store, and latency at a glance.
+
+One self-contained HTML document per request — no JavaScript, no assets,
+no dependencies — because the numbers an operator needs (queue depth,
+per-state job counts, store hit/miss, recent-job latency) are stat tiles
+and a table, not charts.  The page auto-refreshes every few seconds via
+``<meta http-equiv="refresh">``; states are labeled with words, with
+color only as a secondary cue.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+
+from repro.service.queue import DONE, FAILED, JobQueue, QUEUED, RUNNING
+
+__all__ = ["render_dashboard"]
+
+_REFRESH_SECONDS = 5
+
+#: Neutral ink/surface tokens plus reserved status colors (used only next
+#: to the state word, never as the sole carrier of meaning).
+_CSS = """
+:root {
+  --ink: #1f1f1f; --ink-2: #5f5f5c; --surface: #ffffff;
+  --tile: #f6f6f3; --line: #e3e3de;
+  --good: #1a7f37; --serious: #b3261e; --busy: #8a6d00;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --ink: #ededea; --ink-2: #a3a39e; --surface: #1b1b19;
+    --tile: #262623; --line: #3a3a36;
+    --good: #57c478; --serious: #ef8a80; --busy: #d4b44a;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0 auto; padding: 24px; max-width: 960px;
+  background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, sans-serif;
+}
+h1 { font-size: 18px; font-weight: 600; margin: 0 0 4px; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+h2 { font-size: 13px; font-weight: 600; text-transform: uppercase;
+     letter-spacing: 0.06em; color: var(--ink-2); margin: 28px 0 10px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; }
+.tile { background: var(--tile); border: 1px solid var(--line);
+        border-radius: 8px; padding: 10px 14px; min-width: 108px; }
+.tile .v { font-size: 24px; font-weight: 600; font-variant-numeric: tabular-nums; }
+.tile .k { font-size: 12px; color: var(--ink-2); }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 6px 10px; border-bottom: 1px solid var(--line);
+         font-variant-numeric: tabular-nums; }
+th { font-size: 12px; color: var(--ink-2); font-weight: 600; }
+td.num, th.num { text-align: right; }
+.state { font-weight: 600; }
+.state.done { color: var(--good); }
+.state.failed { color: var(--serious); }
+.state.running { color: var(--busy); }
+.err { color: var(--ink-2); font-size: 12px; }
+"""
+
+
+def _tile(value, label: str) -> str:
+    return (
+        f'<div class="tile"><div class="v">{html.escape(str(value))}</div>'
+        f'<div class="k">{html.escape(label)}</div></div>'
+    )
+
+
+def _age(stamp: float | None, now: float) -> str:
+    if stamp is None:
+        return "&mdash;"
+    seconds = max(0.0, now - stamp)
+    if seconds < 90:
+        return f"{seconds:.0f}s ago"
+    if seconds < 5400:
+        return f"{seconds / 60:.0f}m ago"
+    return f"{seconds / 3600:.1f}h ago"
+
+
+def _job_rows(queue: JobQueue, now: float, limit: int) -> str:
+    rows = []
+    for record in queue.records()[:limit]:
+        summary = record.summary()
+        detail = ""
+        if record.error:
+            detail = f'<div class="err">{html.escape(record.error)}</div>'
+        run = "&mdash;"
+        if record.finished:
+            run = f"{record.seconds:.3f}s" + (" (warm)" if record.warm else "")
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(record.id)}</td>"
+            f"<td>{html.escape(record.spec.graph)}</td>"
+            f'<td><span class="state {record.state}">{record.state}</span>{detail}</td>'
+            f'<td class="num">{summary["cell_groups"]}</td>'
+            f'<td class="num">{record.coalesced}</td>'
+            f'<td class="num">{run}</td>'
+            f'<td class="num">{_age(record.submitted_at, now)}</td>'
+            "</tr>"
+        )
+    if not rows:
+        rows.append('<tr><td colspan="7" class="err">no jobs submitted yet</td></tr>')
+    return "".join(rows)
+
+
+def render_dashboard(queue: JobQueue, *, recent: int = 20) -> str:
+    """The full admin page for ``queue`` as one HTML string."""
+    stats = queue.stats()
+    states = stats["states"]
+    store = stats.get("store")
+    now = time.time()
+
+    tiles = [
+        _tile(stats["queue_depth"], "queue depth"),
+        _tile(states[RUNNING], "running"),
+        _tile(states[DONE], "done"),
+        _tile(states[FAILED], "failed"),
+        _tile(stats["jobs_total"], "jobs total"),
+        _tile(stats["coalesced"], "coalesced"),
+        _tile(stats["workers"], "workers"),
+    ]
+    store_tiles = (
+        [
+            _tile(store["hits"], "store hits"),
+            _tile(store["misses"], "store misses"),
+            _tile(store["writes"], "store writes"),
+            _tile(store["corrupt"], "corrupt reads"),
+        ]
+        if store is not None
+        else ['<p class="err">no artifact store configured</p>']
+    )
+
+    latency_rows = []
+    for label, entry in sorted(stats["latency"].items()):
+        latency_rows.append(
+            "<tr>"
+            f"<td>{html.escape(label)}</td>"
+            f'<td class="num">{entry["count"]}</td>'
+            f'<td class="num">{entry["mean"]:.3f}s</td>'
+            f'<td class="num">{entry["min"]:.3f}s</td>'
+            f'<td class="num">{entry["max"]:.3f}s</td>'
+            "</tr>"
+        )
+    if not latency_rows:
+        latency_rows.append(
+            '<tr><td colspan="5" class="err">no jobs finished yet</td></tr>'
+        )
+
+    return f"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="{_REFRESH_SECONDS}">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro compression service</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>repro compression service</h1>
+<p class="sub">queued {states[QUEUED]} &middot; running {states[RUNNING]} &middot;
+done {states[DONE]} &middot; failed {states[FAILED]} &middot;
+auto-refreshes every {_REFRESH_SECONDS}s</p>
+
+<h2>Queue</h2>
+<div class="tiles">{''.join(tiles)}</div>
+
+<h2>Artifact store</h2>
+<div class="tiles">{''.join(store_tiles)}</div>
+
+<h2>Latency</h2>
+<table>
+<thead><tr><th>kind</th><th class="num">jobs</th><th class="num">mean</th>
+<th class="num">min</th><th class="num">max</th></tr></thead>
+<tbody>{''.join(latency_rows)}</tbody>
+</table>
+
+<h2>Recent jobs</h2>
+<table>
+<thead><tr><th>id</th><th>graph</th><th>state</th><th class="num">cell groups</th>
+<th class="num">coalesced</th><th class="num">run time</th>
+<th class="num">submitted</th></tr></thead>
+<tbody>{_job_rows(queue, now, recent)}</tbody>
+</table>
+</body>
+</html>
+"""

@@ -1,0 +1,357 @@
+"""The transport-neutral job model every front-end schedules through.
+
+A :class:`JobSpec` describes one unit of service work — *one* graph, a
+scheme × algorithm × metric grid, a seed list — in a form that survives
+any transport: the in-process CLI harness (:func:`repro.runner.harness.
+run_sweep` builds one JobSpec per graph), the process pool (which already
+speaks per-cell tasks underneath), and the HTTP front-end
+(:mod:`repro.service.http` parses request bodies straight into JobSpecs).
+
+Identity is content, not spelling.  :meth:`JobSpec.canonical_dict` reuses
+the artifact store's spec canonicalization — schemes through
+:class:`~repro.compress.spec.SchemeSpec`, algorithms through
+:class:`~repro.algorithms.spec.AlgorithmSpec`, metrics resolved to sorted
+canonical registry names, seeds deduplicated and sorted — so
+``{"schemes": ["uniform(0.5)"]}`` and ``{"schemes": ["uniform(p=0.5)"]}``
+hash to the same :attr:`JobSpec.job_key`.  That key is what the service
+queue dedupes in-flight work by: it names the same computation the store
+cells underneath it are keyed by.
+
+:func:`execute_job` is the one scheduler.  It loads the job's graph
+(dataset name, or a ``fingerprint:<hex>`` reference into a store
+snapshot), builds a :class:`~repro.analytics.session.Session`, and sweeps
+the grid seed by seed — store replay and process-pool fan-out included —
+returning the :class:`~repro.analytics.grid.SweepTable` plus the same
+perf counters the BENCH records carry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+from repro.analytics.grid import SweepTable
+from repro.runner.store import _algorithm_json, _canonical_metrics, _scheme_json
+from repro.utils.timer import stopwatch
+
+__all__ = [
+    "FINGERPRINT_PREFIX",
+    "JobSpec",
+    "JobResult",
+    "execute_job",
+    "load_job_graph",
+]
+
+#: Graph references of this form resolve to a store snapshot instead of a
+#: named dataset stand-in.
+FINGERPRINT_PREFIX = "fingerprint:"
+
+#: The paper's default battery, mirrored from the session grid default.
+DEFAULT_ALGORITHMS = ("bfs", "pr", "cc", "tc")
+
+
+def _as_strings(values: Iterable, what: str) -> tuple[str, ...]:
+    out = tuple(str(v) for v in values)
+    if not out:
+        raise ValueError(f"job needs at least one {what}")
+    return out
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit of service work: a grid over one graph.
+
+    Fields keep the *submitted* spellings (so result tables label rows
+    the way the caller asked for them); equality of computation is the
+    canonical form underneath (:meth:`canonical_dict` / :attr:`job_key`).
+    """
+
+    graph: str
+    schemes: tuple[str, ...]
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS
+    metrics: tuple[str, ...] | None = None
+    seeds: tuple[int, ...] = (0,)
+    #: Seed for building dataset stand-ins (not the compression seeds).
+    graph_seed: int = 0
+    bfs_root: int = 0
+    pr_iterations: int = 100
+
+    @classmethod
+    def build(
+        cls,
+        graph: str,
+        schemes: Iterable,
+        algorithms: Iterable | None = None,
+        metrics: Iterable | None = None,
+        seeds: Iterable = (0,),
+        *,
+        graph_seed: int = 0,
+        bfs_root: int = 0,
+        pr_iterations: int = 100,
+    ) -> "JobSpec":
+        """Validated constructor normalizing every axis to tuples.
+
+        Metric names are resolved and **sorted** here (satisfying the
+        canonical-JSON contract at the transport boundary); scheme and
+        algorithm spellings are kept but validated through their
+        registries, so a bad spec fails at submission — an HTTP 400 —
+        not inside a worker.
+        """
+        from repro.algorithms.registry import build_algorithm
+        from repro.compress.registry import build_scheme
+
+        schemes = _as_strings(schemes, "scheme")
+        for s in schemes:
+            build_scheme(s)
+        algorithms = (
+            DEFAULT_ALGORITHMS
+            if algorithms is None
+            else _as_strings(algorithms, "algorithm")
+        )
+        for a in algorithms:
+            build_algorithm(a)
+        if metrics is not None:
+            metrics = _canonical_metrics(_as_strings(metrics, "metric"))
+        seeds = tuple(int(s) for s in seeds)
+        if not seeds:
+            raise ValueError("job needs at least one seed")
+        return cls(
+            graph=str(graph),
+            schemes=schemes,
+            algorithms=algorithms,
+            metrics=metrics,
+            seeds=seeds,
+            graph_seed=int(graph_seed),
+            bfs_root=int(bfs_root),
+            pr_iterations=int(pr_iterations),
+        )
+
+    @classmethod
+    def from_sweep(cls, spec, graph: str) -> "JobSpec":
+        """The job a :class:`~repro.runner.harness.SweepSpec` runs on one
+        of its graphs — how the CLI harness rides the shared scheduler."""
+        return cls.build(
+            graph,
+            spec.schemes,
+            spec.algorithms,
+            spec.metrics,
+            spec.seeds,
+            graph_seed=spec.graph_seed,
+            bfs_root=spec.bfs_root,
+            pr_iterations=spec.pr_iterations,
+        )
+
+    # -- transport ---------------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        """JSON-safe lossless form; inverse of :meth:`from_dict`."""
+        return {
+            "graph": self.graph,
+            "schemes": list(self.schemes),
+            "algorithms": list(self.algorithms),
+            "metrics": None if self.metrics is None else list(self.metrics),
+            "seeds": list(self.seeds),
+            "graph_seed": self.graph_seed,
+            "bfs_root": self.bfs_root,
+            "pr_iterations": self.pr_iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobSpec":
+        """Parse a transport dict (HTTP body, stored record) tolerantly.
+
+        Unknown keys are an error naming the offenders — a mistyped field
+        in a request should 400, not silently run the default grid.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"job spec must be a JSON object, got {type(data).__name__}")
+        known = {
+            "graph", "schemes", "algorithms", "metrics", "seeds",
+            "graph_seed", "bfs_root", "pr_iterations",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown job fields {unknown}; known: {sorted(known)}")
+        if "graph" not in data or "schemes" not in data:
+            raise ValueError("job spec needs at least 'graph' and 'schemes'")
+        return cls.build(
+            data["graph"],
+            data["schemes"],
+            data.get("algorithms"),
+            data.get("metrics"),
+            data.get("seeds", (0,)),
+            graph_seed=data.get("graph_seed", 0),
+            bfs_root=data.get("bfs_root", 0),
+            pr_iterations=data.get("pr_iterations", 100),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- identity ----------------------------------------------------------- #
+
+    def canonical_dict(self) -> dict:
+        """The spelling-free identity of this job's computation.
+
+        Schemes and algorithms become their canonical spec dicts (the
+        store's cell-key normal form), metrics are already sorted
+        canonical names, and seeds are deduplicated and sorted — two
+        submissions that would populate the same store cells canonicalize
+        identically.
+        """
+        return {
+            "graph": self.graph,
+            "graph_seed": self.graph_seed,
+            "schemes": sorted(_scheme_json(s) for s in self.schemes),
+            "algorithms": sorted(
+                json.dumps(
+                    _resolved_algorithm_dict(a, self), sort_keys=True,
+                    separators=(",", ":"),
+                )
+                for a in self.algorithms
+            ),
+            "metrics": None if self.metrics is None else list(self.metrics),
+            "seeds": sorted(set(self.seeds)),
+        }
+
+    @property
+    def job_key(self) -> str:
+        """Hex SHA-256 of the canonical JSON; the queue's dedupe key."""
+        return hashlib.sha256(
+            json.dumps(
+                self.canonical_dict(), sort_keys=True, separators=(",", ":")
+            ).encode()
+        ).hexdigest()
+
+    def cell_groups(self) -> int:
+        """Scheduled (scheme, seed, algorithm) groups — the work estimate."""
+        return len(self.schemes) * len(self.algorithms) * len(set(self.seeds))
+
+
+def _resolved_algorithm_dict(algorithm: str, job: "JobSpec") -> dict:
+    """Canonical algorithm dict with the job's session defaults injected.
+
+    The session injects ``bfs_root``/``pr_iterations`` into algorithms
+    that omit them, so two jobs differing only in those fields *are*
+    different computations — folding the defaults into the canonical form
+    keeps the job key honest about it.
+    """
+    from repro.algorithms.registry import algorithm_positional
+
+    data = json.loads(_algorithm_json(algorithm))
+    params = data.setdefault("params", {})
+    if data.get("name") == "pagerank" and "max_iterations" not in params:
+        params["max_iterations"] = job.pr_iterations
+    if algorithm_positional(data.get("name")) == "source" and "source" not in params:
+        params["source"] = job.bfs_root
+    return data
+
+
+@dataclass
+class JobResult:
+    """Everything one :func:`execute_job` call produced."""
+
+    spec: JobSpec
+    table: SweepTable
+    perf: dict = field(default_factory=dict)
+
+
+def load_job_graph(job: JobSpec, *, store=None, graph_loader=None):
+    """Resolve a job's graph reference to a :class:`CSRGraph`.
+
+    ``graph_loader`` (a ``ref -> CSRGraph`` callable) wins when given;
+    ``fingerprint:<hex>`` references load the store's binary snapshot;
+    anything else is a named dataset stand-in
+    (:func:`repro.graphs.datasets.load`).
+    """
+    if graph_loader is not None:
+        return graph_loader(job.graph)
+    if job.graph.startswith(FINGERPRINT_PREFIX):
+        fingerprint = job.graph[len(FINGERPRINT_PREFIX):]
+        if store is None:
+            raise ValueError(
+                f"graph reference {job.graph!r} needs a store to resolve"
+            )
+        graph = store.load_graph(fingerprint)
+        if graph is None:
+            raise ValueError(
+                f"no snapshot for {job.graph!r} in store {store.root}"
+            )
+        return graph
+    from repro.graphs import datasets
+
+    return datasets.load(job.graph, seed=job.graph_seed)
+
+
+def execute_job(
+    job: JobSpec, *, store=None, jobs: int | None = None, graph_loader=None
+) -> JobResult:
+    """Run one job to completion — the scheduler all front-ends share.
+
+    ``store``/``jobs`` select replay and process-pool fan-out exactly as
+    :class:`~repro.analytics.session.Session` does; cells already stored
+    replay with zero recomputation.  The returned perf dict carries the
+    same counter names the BENCH records and the harness totals use
+    (``cells_scheduled``, ``cache_hits``/``cache_misses``,
+    ``compress_seconds``, ``analysis_hits``/``analysis_misses``), plus
+    one ``grids`` entry per seed.
+    """
+    from repro.analytics.session import Session
+
+    if store is not None and not hasattr(store, "get_cells"):
+        from repro.runner.store import ArtifactStore
+
+        store = ArtifactStore(store)
+    graph = load_job_graph(job, store=store, graph_loader=graph_loader)
+    session = Session(
+        graph,
+        seed=job.seeds[0],
+        bfs_root=job.bfs_root,
+        pr_iterations=job.pr_iterations,
+        store=store,
+        jobs=jobs,
+    )
+    cells = []
+    grids = []
+    totals = {
+        "cells_scheduled": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "compress_seconds": 0.0,
+        "analysis_hits": 0,
+        "analysis_misses": 0,
+    }
+    with stopwatch() as wall:
+        for seed in job.seeds:
+            table = session.grid(job.schemes, job.algorithms, job.metrics, seed=seed)
+            cells.extend(replace(c, graph=job.graph) for c in table)
+            grid_perf = dict(session.last_grid_perf)
+            grid_perf.pop("store_stats", None)
+            # Cumulative per session: stays at one per algorithm no
+            # matter how many schemes/seeds scored against it.
+            grid_perf["baseline_computations"] = session.baseline_computations
+            # Flatten the structural-analysis cache counters so they
+            # total like the store counters (detail stays per grid).
+            analysis = grid_perf.get("analysis_cache") or {}
+            grid_perf["analysis_hits"] = analysis.get("hits", 0)
+            grid_perf["analysis_misses"] = analysis.get("misses", 0)
+            for key in totals:
+                totals[key] += grid_perf.get(key, 0)
+            grids.append({"graph": job.graph, "seed": seed, **grid_perf})
+    table = SweepTable(cells)
+    perf = {
+        "job_key": job.job_key,
+        "graph": job.graph,
+        "seeds": list(job.seeds),
+        "cells": len(table),
+        **totals,
+        "wall_seconds": wall.seconds,
+        "grids": grids,
+    }
+    return JobResult(spec=job, table=table, perf=perf)

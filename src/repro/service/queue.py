@@ -1,0 +1,323 @@
+"""The deduplicating async job queue behind the service front-ends.
+
+Jobs move ``queued → running → done/failed`` across a bounded pool of
+worker *threads* (each job may still fan its grid cells over worker
+*processes* via ``pool_jobs``).  The queue's defining behavior is
+**in-flight dedupe by job key**: :attr:`~repro.service.jobs.JobSpec.
+job_key` is derived from the same canonical spec JSON the artifact
+store's cell keys use, so two clients submitting the same graph + grid —
+in any spelling — coalesce onto one :class:`JobRecord` and one
+computation.  Completed keys leave the dedupe map: a later identical
+submission becomes a fresh job whose cells replay from the warm store
+with zero recomputation (instant hits, visible in the store stats), and
+a *failed* job's key is evicted too, so a retry actually retries instead
+of being poisoned by the dead record.
+
+Latency is sampled per job through :func:`repro.utils.timer.stopwatch`
+into a shared :class:`~repro.utils.timer.Timer` under ``cold`` (computed
+something) / ``warm`` (pure store replay) / ``failed`` labels;
+:meth:`JobQueue.stats` exposes those histograms plus queue depth,
+per-state counts, and the store's thread-safe hit/miss counters — the
+payload of ``GET /metrics`` and the admin dashboard.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_module
+import threading
+import time
+from typing import Mapping
+
+from repro.service.jobs import JobResult, JobSpec, execute_job
+from repro.utils.timer import Timer, stopwatch
+
+__all__ = ["JobQueue", "JobRecord", "QUEUED", "RUNNING", "DONE", "FAILED", "STATES"]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+
+class JobRecord:
+    """One submitted job's lifecycle, shared by every coalesced client."""
+
+    __slots__ = (
+        "id", "spec", "key", "state", "error", "result", "coalesced",
+        "warm", "seconds", "submitted_at", "started_at", "finished_at",
+        "_event",
+    )
+
+    def __init__(self, id: str, spec: JobSpec):
+        self.id = id
+        self.spec = spec
+        self.key = spec.job_key
+        self.state = QUEUED
+        self.error: str | None = None
+        self.result: JobResult | None = None
+        #: Submissions served by this record beyond the first.
+        self.coalesced = 0
+        #: True when the job completed as a pure store replay.
+        self.warm = False
+        #: Execution wall time (queue wait excluded); 0.0 until finished.
+        self.seconds = 0.0
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._event = threading.Event()
+
+    def __repr__(self) -> str:
+        return f"JobRecord({self.id!r}, {self.state}, graph={self.spec.graph!r})"
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job finishes; False on timeout."""
+        return self._event.wait(timeout)
+
+    def summary(self) -> dict:
+        """JSON-safe status view (the ``GET /jobs/<id>`` payload)."""
+        out = {
+            "id": self.id,
+            "state": self.state,
+            "job_key": self.key,
+            "graph": self.spec.graph,
+            "cell_groups": self.spec.cell_groups(),
+            "coalesced": self.coalesced,
+            "warm": self.warm,
+            "seconds": self.seconds,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["cells"] = len(self.result.table)
+        return out
+
+
+class JobQueue:
+    """Bounded-concurrency job execution with in-flight dedupe.
+
+    Parameters
+    ----------
+    store:
+        Shared :class:`~repro.runner.store.ArtifactStore` (or a path to
+        one); every worker replays/writes through it, which is what makes
+        identical re-submissions free.  ``None`` runs storeless (no
+        replay, dedupe still coalesces concurrent identical work).
+    workers:
+        Worker-thread count — the number of jobs in flight at once.
+    pool_jobs:
+        Per-job process fan-out handed to ``Session(jobs=...)``;
+        ``None``/``1`` keeps each job in its worker thread.
+    graph_loader:
+        Optional ``ref -> CSRGraph`` override (tests and embedded demos
+        pass fixtures; the default resolves dataset names and
+        ``fingerprint:`` store references).
+    executor:
+        The job runner, :func:`~repro.service.jobs.execute_job` unless a
+        test injects a stand-in.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        *,
+        workers: int = 2,
+        pool_jobs: int | None = None,
+        graph_loader=None,
+        executor=execute_job,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if store is not None and not hasattr(store, "get_cells"):
+            from repro.runner.store import ArtifactStore
+
+            store = ArtifactStore(store)
+        self.store = store
+        self.workers = workers
+        self.pool_jobs = pool_jobs
+        self.graph_loader = graph_loader
+        self._execute = executor
+        self.timer = Timer()
+        self._lock = threading.Lock()
+        self._tasks: queue_module.Queue = queue_module.Queue()
+        self._records: dict[str, JobRecord] = {}
+        self._inflight: dict[str, JobRecord] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-service-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission --------------------------------------------------------- #
+
+    def submit(self, spec) -> JobRecord:
+        """Enqueue ``spec`` (a :class:`JobSpec` or transport dict).
+
+        An identical job already queued or running is **coalesced**: the
+        existing record is returned (its ``coalesced`` counter bumped)
+        and no second computation is scheduled.  Jobs that already
+        finished do not coalesce — resubmission schedules a fresh job,
+        which against a warm store completes as a pure replay.
+        """
+        if isinstance(spec, Mapping):
+            spec = JobSpec.from_dict(spec)
+        elif not isinstance(spec, JobSpec):
+            raise TypeError(f"cannot submit {type(spec).__name__}; need JobSpec or dict")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            record = self._inflight.get(spec.job_key)
+            if record is not None:
+                record.coalesced += 1
+                return record
+            record = JobRecord(f"j{next(self._ids)}-{spec.job_key[:10]}", spec)
+            self._inflight[record.key] = record
+            self._records[record.id] = record
+        self._tasks.put(record)
+        return record
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def records(self, *, newest_first: bool = True) -> list[JobRecord]:
+        with self._lock:
+            out = list(self._records.values())
+        return sorted(out, key=lambda r: r.submitted_at, reverse=newest_first)
+
+    # -- execution ---------------------------------------------------------- #
+
+    def _worker(self) -> None:
+        while True:
+            record = self._tasks.get()
+            if record is None:
+                self._tasks.task_done()
+                return
+            try:
+                self._run_one(record)
+            finally:
+                self._tasks.task_done()
+
+    def _run_one(self, record: JobRecord) -> None:
+        with self._lock:
+            if record.state != QUEUED:  # failed by a non-draining shutdown
+                return
+            record.state = RUNNING
+            record.started_at = time.time()
+        try:
+            with stopwatch() as sw:
+                result = self._execute(
+                    record.spec,
+                    store=self.store,
+                    jobs=self.pool_jobs,
+                    graph_loader=self.graph_loader,
+                )
+        except Exception as err:  # noqa: BLE001 — a job failure is data
+            with self._lock:
+                record.seconds = sw.seconds
+                record.error = f"{type(err).__name__}: {err}"
+                record.state = FAILED
+                record.finished_at = time.time()
+                # Evict so an identical resubmission retries instead of
+                # coalescing onto the corpse.
+                self._inflight.pop(record.key, None)
+            self.timer.add_sample("failed", sw.seconds)
+        else:
+            warm = result.perf.get("cache_misses", 0) == 0
+            with self._lock:
+                record.result = result
+                record.warm = warm
+                record.seconds = sw.seconds
+                record.state = DONE
+                record.finished_at = time.time()
+                # Done work is served by the store from here on; the
+                # dedupe map only ever holds in-flight keys.
+                self._inflight.pop(record.key, None)
+            self.timer.add_sample("warm" if warm else "cold", sw.seconds)
+        finally:
+            record._event.set()
+
+    # -- observability ------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Queue/store/latency counters (the ``GET /metrics`` payload)."""
+        with self._lock:
+            states = dict.fromkeys(STATES, 0)
+            coalesced = 0
+            for record in self._records.values():
+                states[record.state] += 1
+                coalesced += record.coalesced
+            total = len(self._records)
+        out = {
+            "workers": self.workers,
+            "queue_depth": states[QUEUED],
+            "states": states,
+            "jobs_total": total,
+            "coalesced": coalesced,
+            "latency": {
+                label: _latency_summary(self.timer.samples(label))
+                for label in self.timer.labels()
+            },
+        }
+        if self.store is not None:
+            out["store"] = self.store.stats.snapshot()
+        return out
+
+    # -- lifecycle ---------------------------------------------------------- #
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work and shut the workers down.
+
+        ``drain=True`` (the default, and what SIGINT does) lets queued
+        jobs run to completion first; ``drain=False`` fails them with a
+        ``shutdown`` error immediately.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            with self._lock:
+                for record in self._records.values():
+                    if record.state == QUEUED:
+                        record.state = FAILED
+                        record.error = "shutdown before execution"
+                        record.finished_at = time.time()
+                        self._inflight.pop(record.key, None)
+                        record._event.set()
+        for _ in self._threads:
+            self._tasks.put(None)
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _latency_summary(samples: list[float]) -> dict:
+    """Count/total/mean/min/max of one latency label's samples."""
+    if not samples:
+        return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": len(samples),
+        "total": sum(samples),
+        "mean": sum(samples) / len(samples),
+        "min": min(samples),
+        "max": max(samples),
+    }

@@ -1,0 +1,181 @@
+"""Tests for the transport-neutral job model (`repro.service.jobs`):
+canonical JSON identity, round-trips, and the shared scheduler."""
+
+import json
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.runner.store import ArtifactStore
+from repro.service.jobs import (
+    FINGERPRINT_PREFIX,
+    JobSpec,
+    execute_job,
+    load_job_graph,
+)
+
+
+@pytest.fixture
+def graph():
+    return gen.powerlaw_cluster(150, 4, 0.5, seed=3)
+
+
+@pytest.fixture
+def loader(graph):
+    return lambda ref: graph
+
+
+def _job(**overrides) -> JobSpec:
+    base = dict(
+        graph="g",
+        schemes=["uniform(p=0.5)", "spanner(k=4)"],
+        algorithms=["pr", "cc"],
+        seeds=[0, 1],
+    )
+    base.update(overrides)
+    return JobSpec.build(**base)
+
+
+class TestIdentity:
+    def test_spelling_variants_share_one_key(self):
+        a = _job(schemes=["uniform(0.5)"], algorithms=["pr"])
+        b = _job(schemes=["uniform(p=0.5)"], algorithms=["pagerank"])
+        assert a.job_key == b.job_key
+
+    def test_metric_order_and_aliases_are_canonical(self):
+        a = _job(metrics=["l2", "kl"])
+        b = _job(metrics=["kl_divergence", "l2_distance"])
+        # Normalized at build time (the satellite requirement: JobSpec
+        # JSON itself is metric-order-free, not just the hash).
+        assert a.metrics == b.metrics == ("kl_divergence", "l2_distance")
+        assert a.job_key == b.job_key
+
+    def test_seed_order_and_duplicates_do_not_split_jobs(self):
+        assert _job(seeds=[1, 0, 1]).job_key == _job(seeds=[0, 1]).job_key
+
+    def test_every_axis_discriminates(self):
+        base = _job()
+        variants = [
+            _job(graph="h"),
+            _job(schemes=["uniform(p=0.4)", "spanner(k=4)"]),
+            _job(algorithms=["pr"]),
+            _job(metrics=["kl"]),
+            _job(seeds=[2]),
+            _job(graph_seed=1),
+            _job(pr_iterations=50),
+        ]
+        keys = {base.job_key} | {v.job_key for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_session_defaults_fold_into_identity(self):
+        # bfs_root only matters to algorithms that take a source; pinning
+        # the source explicitly equals relying on the default.
+        a = _job(algorithms=["bfs_reach"], bfs_root=3)
+        b = _job(algorithms=["bfs_reach(source=3)"])
+        assert a.job_key == b.job_key
+        assert a.job_key != _job(algorithms=["bfs_reach"], bfs_root=0).job_key
+        # ...but is irrelevant (same key) for source-free algorithms.
+        assert _job(bfs_root=3).job_key == _job().job_key
+
+    def test_pr_iterations_fold_into_identity(self):
+        assert (
+            _job(algorithms=["pagerank(max_iterations=100)"]).job_key
+            == _job(algorithms=["pr"], pr_iterations=100).job_key
+        )
+
+
+class TestTransport:
+    def test_json_round_trip(self):
+        job = _job(metrics=["kl", "l2"], pr_iterations=42)
+        clone = JobSpec.from_json(job.to_json())
+        assert clone == job
+        assert clone.job_key == job.job_key
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown job fields.*'shcemes'"):
+            JobSpec.from_dict({"graph": "g", "schemes": ["x"], "shcemes": []})
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ValueError, match="'graph' and 'schemes'"):
+            JobSpec.from_dict({"schemes": ["uniform(p=0.5)"]})
+        with pytest.raises(ValueError, match="JSON object"):
+            JobSpec.from_dict(["not", "a", "mapping"])
+
+    def test_bad_specs_fail_at_build_time(self):
+        with pytest.raises(Exception):
+            _job(schemes=["no_such_scheme(p=0.5)"])
+        with pytest.raises(Exception):
+            _job(algorithms=["no_such_algorithm"])
+        with pytest.raises(ValueError, match="at least one scheme"):
+            _job(schemes=[])
+        with pytest.raises(ValueError, match="at least one seed"):
+            _job(seeds=[])
+
+    def test_from_sweep_matches_harness_axes(self):
+        from repro.runner.harness import get_sweep
+
+        sweep = get_sweep("smoke")
+        job = JobSpec.from_sweep(sweep, sweep.graphs[0])
+        assert job.graph == sweep.graphs[0]
+        assert job.schemes == sweep.schemes
+        assert job.seeds == sweep.seeds
+        assert job.cell_groups() == (
+            len(sweep.schemes) * len(sweep.algorithms) * len(sweep.seeds)
+        )
+
+
+class TestExecution:
+    def test_execute_matches_in_memory_session_grid(self, graph, loader):
+        from repro.analytics.session import Session
+
+        job = _job()
+        result = execute_job(job, graph_loader=loader)
+        expected = []
+        session = Session(graph, seed=0)
+        for seed in job.seeds:
+            expected.extend(
+                session.grid(job.schemes, job.algorithms, seed=seed)
+            )
+        got = [
+            (c.scheme, c.algorithm, c.metric, c.seed, c.value, c.compression_ratio)
+            for c in result.table
+        ]
+        want = [
+            (c.scheme, c.algorithm, c.metric, c.seed, c.value, c.compression_ratio)
+            for c in expected
+        ]
+        assert got == want
+        assert all(c.graph == "g" for c in result.table)
+        assert result.perf["cells_scheduled"] == job.cell_groups()
+        assert result.perf["job_key"] == job.job_key
+
+    def test_store_replay_is_zero_recompute(self, loader, tmp_path):
+        job = _job()
+        cold = execute_job(job, store=tmp_path / "store", graph_loader=loader)
+        warm = execute_job(job, store=tmp_path / "store", graph_loader=loader)
+        assert cold.perf["cache_misses"] == job.cell_groups()
+        assert warm.perf["cache_misses"] == 0
+        assert warm.perf["cache_hits"] == job.cell_groups()
+        assert warm.table.to_dict() == cold.table.to_dict()
+
+    def test_fingerprint_graph_reference(self, graph, tmp_path):
+        from repro.runner.fingerprint import graph_fingerprint
+
+        store = ArtifactStore(tmp_path / "store")
+        fingerprint, _ = store.add_graph(graph)
+        job = _job(graph=f"{FINGERPRINT_PREFIX}{fingerprint}")
+        loaded = load_job_graph(job, store=store)
+        assert graph_fingerprint(loaded) == fingerprint
+        result = execute_job(job, store=store)
+        assert len(result.table) == job.cell_groups()
+
+    def test_fingerprint_reference_needs_a_store(self):
+        job = _job(graph=f"{FINGERPRINT_PREFIX}{'a' * 64}")
+        with pytest.raises(ValueError, match="needs a store"):
+            load_job_graph(job)
+
+    def test_unknown_snapshot_named_in_error(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        job = _job(graph=f"{FINGERPRINT_PREFIX}{'a' * 64}")
+        with pytest.raises(ValueError, match="no snapshot"):
+            load_job_graph(job, store=store)
