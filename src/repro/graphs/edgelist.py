@@ -3,8 +3,16 @@
 Two formats:
 
 - plain text ``u v [w]`` per line (the interchange format of SNAP/KONECT
-  dumps the paper's pipeline ingests), with ``#`` comments;
+  dumps the paper's pipeline ingests), with ``#`` and ``%`` comments
+  (KONECT headers use ``%``), blank lines, and CRLF endings tolerated;
 - compressed ``.npz`` (NumPy) for fast round-trips of generated datasets.
+
+Malformed rows fail with the offender named (``file:line: ...`` plus the
+row's text), never with a bare ``int()`` traceback — real dumps are messy
+and the error must say *which* line to fix.  The line-level tolerance and
+row parsing live in :func:`iter_edge_rows` / :func:`parse_edge_row` so the
+streaming delta reader (:mod:`repro.stream.delta`) ingests the same
+dialect.
 
 Storage accounting (:func:`storage_bytes`) backs the paper's storage-
 reduction numbers: lossy compression reduces stored bytes proportionally to
@@ -20,7 +28,70 @@ import numpy as np
 
 from repro.graphs.csr import CSRGraph
 
-__all__ = ["write_text", "read_text", "write_npz", "read_npz", "storage_bytes"]
+__all__ = [
+    "write_text",
+    "read_text",
+    "write_npz",
+    "read_npz",
+    "storage_bytes",
+    "iter_edge_rows",
+    "parse_edge_row",
+]
+
+
+def iter_edge_rows(lines, *, source="<edges>"):
+    """Yield ``(lineno, line)`` for every content row of an edge-list text.
+
+    Blank lines (including whitespace-only), CRLF endings, and comment
+    lines starting with ``#`` or ``%`` (KONECT) are skipped; ``lineno`` is
+    1-based so errors can point into the file.
+    """
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        yield lineno, line
+
+
+def parse_edge_row(
+    line: str, *, lineno: int = 0, source: str = "<edges>"
+) -> tuple[int, int, float | None]:
+    """Parse one ``u v [w]`` row into ``(u, v, weight-or-None)``.
+
+    Raises ``ValueError`` naming the offending location and row text for
+    anything that is not two integer endpoints plus an optional float
+    weight.
+    """
+    parts = line.split()
+    where = f"{source}:{lineno}"
+    if len(parts) < 2:
+        raise ValueError(
+            f"{where}: malformed edge row {line!r} "
+            "(expected 'u v' or 'u v w')"
+        )
+    if len(parts) > 3:
+        raise ValueError(
+            f"{where}: malformed edge row {line!r} "
+            f"({len(parts)} fields; expected 2 or 3)"
+        )
+    try:
+        u = int(parts[0])
+        v = int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"{where}: malformed edge row {line!r} "
+            "(endpoints must be integers)"
+        ) from None
+    w = None
+    if len(parts) == 3:
+        try:
+            w = float(parts[2])
+        except ValueError:
+            raise ValueError(
+                f"{where}: malformed edge row {line!r} "
+                "(weight must be a number)"
+            ) from None
+    return u, v, w
 
 
 def write_text(g: CSRGraph, path) -> None:
@@ -45,9 +116,9 @@ def read_text(path, *, num_vertices: int | None = None, directed: bool = False) 
     header_n = None
     header_directed = None
     with path.open() as f:
-        for line in f:
-            line = line.strip()
-            if not line:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("%"):
                 continue
             if line.startswith("#"):
                 if "n=" in line:
@@ -57,14 +128,22 @@ def read_text(path, *, num_vertices: int | None = None, directed: bool = False) 
                         elif tok.startswith("directed="):
                             header_directed = bool(int(tok[9:]))
                 continue
-            parts = line.split()
-            src.append(int(parts[0]))
-            dst.append(int(parts[1]))
-            if len(parts) >= 3:
+            u, v, weight = parse_edge_row(line, lineno=lineno, source=str(path))
+            src.append(u)
+            dst.append(v)
+            if weight is not None:
+                if not weighted and len(src) > 1:
+                    raise ValueError(
+                        f"{path}:{lineno}: mixed weighted/unweighted rows "
+                        f"(row {line!r} has a weight, earlier rows do not)"
+                    )
                 weighted = True
-                w.append(float(parts[2]))
+                w.append(weight)
             elif weighted:
-                raise ValueError("mixed weighted/unweighted lines")
+                raise ValueError(
+                    f"{path}:{lineno}: mixed weighted/unweighted rows "
+                    f"(row {line!r} has no weight, earlier rows do)"
+                )
     if header_directed is not None:
         directed = header_directed
     n = num_vertices if num_vertices is not None else header_n

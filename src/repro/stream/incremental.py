@@ -1,0 +1,747 @@
+"""Incremental recompression: repair compressed outputs under deltas.
+
+A batch scheme recomputes its whole output for every new generation; at
+streaming rates that wastes the work the delta did not touch.  Each
+:class:`IncrementalMaintainer` here keeps just enough state about *why*
+its compressed output looks the way it does to repair only the
+delta-affected neighborhood, and guarantees the repaired output satisfies
+the **same** :mod:`repro.theory.bounds` contracts the batch scheme
+declares (checked by :func:`repro.verify.properties.
+incremental_equivalence`):
+
+- :class:`IncrementalSpanner` — state is the LDD clustering, the
+  per-cluster SSSP-tree edges, and the kept crossing edge per cluster
+  pair.  Only a delete that removes a *tree* edge changes anything the
+  output depends on (an intra-cluster non-tree edge or a non-chosen
+  crossing edge is invisible to it); such a delete **splits** its
+  cluster along the tree cut — each surviving tree component still
+  spans its vertex set with diameter no larger than before, so the
+  components simply become clusters of their own, with no LDD run at
+  all during repair.  New vertices become singleton clusters, crossing
+  entries whose cluster pair was renamed by a split are re-keyed (the
+  kept edge is unchanged), and crossing choices are re-picked only for
+  pairs that lost their chosen edge or involve a split-off cluster.  A
+  surviving tree still spans its cluster in the new generation, so
+  connectivity — the deterministic ``spanner_components`` contract — is
+  preserved exactly as in the batch construction, and the unchanged
+  tree diameters keep the stretch argument intact.  The compressed
+  output itself is advanced by the same pair-level diff, never rebuilt.
+  The win is large because batch LDD is a Python-heap Dijkstra over
+  all n.
+- :class:`IncrementalTriangleReduction` (EO p-1-TR) — state is the set
+  of *considered* edge pairs (each edge gets one removal lottery,
+  §4.3's edge-once rule), the TR-deleted pairs, and for each deleted
+  pair the two triangle partners that protect its endpoints'
+  connectivity.  Graph-deletes drop state and **restore** any
+  TR-deleted edge that loses a protecting partner (without the restore,
+  a later graph-delete of a partner could disconnect the output where a
+  full recompress of the new generation would not — breaking the
+  ``eo_tr_components`` contract).  Inserts discover only the triangles
+  containing an inserted edge (sorted-neighbor intersection) and run
+  the same lottery on them.  The win is skipping the O(m^{3/2}) full
+  triangle listing.
+- :class:`IncrementalLowDegree` — the deterministic arm: degrees are
+  maintained in O(Δ), and the output is **bit-identical** to the batch
+  ``low_degree`` compress of the new generation, which gives the
+  metamorphic invariant an exact-equality case.
+
+Past a churn threshold (default 25% of edges touched per batch) every
+maintainer falls back to a full recompress — repair state degrades
+gracefully into the batch path it specializes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.algorithms.triangles import edge_ids_of_pairs
+from repro.compress.base import CompressionResult
+from repro.compress.mappings import (
+    beta_for_spanner,
+    low_diameter_decomposition,
+)
+from repro.compress.registry import build_scheme
+from repro.compress.spanner import Spanner
+from repro.compress.triangle_reduction import TriangleReduction
+from repro.compress.vertex_filters import LowDegreeVertexRemoval
+from repro.graphs.csr import CSRGraph
+from repro.stream.delta import EdgeDelta
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "IncrementalMaintainer",
+    "IncrementalSpanner",
+    "IncrementalTriangleReduction",
+    "IncrementalLowDegree",
+    "maintainer_for",
+]
+
+
+def _delta_seed_int(delta: EdgeDelta) -> int:
+    """A 64-bit stream-position-free seed component: the delta's content."""
+    return int(delta.delta_id[:16], 16)
+
+
+def _present_edge_ids(g: CSRGraph, u, v) -> tuple[np.ndarray, np.ndarray]:
+    """``(edge_ids, found_mask)`` for endpoint arrays; missing pairs are
+    reported in the mask instead of raising (canonical edge arrays are
+    key-sorted, so one ``searchsorted`` resolves the whole batch)."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if not g.directed:
+        u, v = np.minimum(u, v), np.maximum(u, v)
+    m = g.num_edges
+    if not m:
+        return np.zeros(len(u), dtype=np.int64), np.zeros(len(u), dtype=bool)
+    keys = g.edge_src * np.int64(g.n) + g.edge_dst
+    want = u * np.int64(g.n) + v
+    pos = np.searchsorted(keys, want)
+    found = (pos < m) & (keys[np.minimum(pos, m - 1)] == want)
+    return pos, found
+
+
+def _require_edge_ids(g: CSRGraph, u, v) -> np.ndarray:
+    """Like :func:`repro.algorithms.triangles.edge_ids_of_pairs`, but
+    sort-free (no cached argsort index to build per generation)."""
+    ids, found = _present_edge_ids(g, u, v)
+    if not found.all():
+        bad = int(np.flatnonzero(~found)[0])
+        raise KeyError(f"pair ({u[bad]}, {v[bad]}) is not an edge")
+    return ids
+
+
+def _edit_subgraph(
+    comp: CSRGraph,
+    g: CSRGraph,
+    removed: set,
+    added: set,
+    delta: EdgeDelta,
+) -> CSRGraph:
+    """Advance a maintained edge-subgraph output by pair-level diffs.
+
+    ``removed``/``added`` are canonical endpoint pairs leaving/entering
+    the output; a pair present in both stays untouched.  The output's
+    vertex set tracks the generation's, inserted pairs take their
+    weights from ``g``, and weight updates of surviving output edges are
+    replayed — so the result is exactly the subgraph of ``g`` the
+    maintainer's state describes, in O(m_out + Δ) instead of a from-
+    scratch resolve of every kept pair.
+    """
+    removed_f = removed - added
+    added_f = added - removed
+    if removed_f:
+        us = [p[0] for p in removed_f]
+        vs = [p[1] for p in removed_f]
+        comp = comp.delete_edges(_require_edge_ids(comp, us, vs))
+    if added_f or g.n > comp.n:
+        pairs = sorted(added_f)
+        us = [p[0] for p in pairs]
+        vs = [p[1] for p in pairs]
+        w = None
+        if g.is_weighted and pairs:
+            w = g.edge_weights[_require_edge_ids(g, us, vs)]
+        comp = comp.insert_edges(us, vs, w, num_vertices=g.n)
+    if g.is_weighted and delta.num_updates:
+        ids, found = _present_edge_ids(
+            comp, delta.update_src, delta.update_dst
+        )
+        if found.any():
+            w = comp.edge_weights.copy()
+            w[ids[found]] = delta.update_weights[found]
+            comp = comp.with_weights(w)
+    return comp
+
+
+class IncrementalMaintainer:
+    """Base class: churn-gated repair with a full-recompress fallback.
+
+    Lifecycle: :meth:`attach` to a base generation (full compress),
+    then :meth:`update` once per applied delta with the new generation
+    (produced by :func:`repro.stream.ingest.apply_delta`).  The current
+    compressed output is :attr:`compressed`; :meth:`result` wraps it as
+    a :class:`~repro.compress.base.CompressionResult` against the
+    current generation so the batch scheme's contract checks apply
+    verbatim.
+    """
+
+    scheme_name = "scheme"
+    #: True when the maintained output is bit-identical to the batch
+    #: scheme's output on the same generation (exact-equality checks).
+    deterministic = False
+
+    def __init__(self, *, seed=0, churn_threshold: float = 0.25):
+        if not 0.0 < churn_threshold:
+            raise ValueError("churn_threshold must be > 0")
+        self.seed = 0 if seed is None else int(seed)
+        self.churn_threshold = float(churn_threshold)
+        self.stats = {"repairs": 0, "full_rebuilds": 0}
+        self._graph: CSRGraph | None = None
+        self._compressed: CSRGraph | None = None
+
+    # -- subclass hooks ------------------------------------------------ #
+
+    def _rebuild(self, g: CSRGraph) -> None:
+        """Full recompress of ``g``; resets all repair state."""
+        raise NotImplementedError
+
+    def _repair(self, old: CSRGraph, delta: EdgeDelta, g: CSRGraph) -> None:
+        """Repair state from ``old`` to ``g`` using only ``delta``."""
+        raise NotImplementedError
+
+    def _check_graph(self, g: CSRGraph) -> None:
+        pass
+
+    def _needs_rebuild(self, g: CSRGraph) -> bool:
+        """Quality ratchet: subclasses may force a full recompress when
+        accumulated repair state has drifted too far from a fresh one."""
+        return False
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def attach(self, g: CSRGraph) -> CSRGraph:
+        """Adopt ``g`` as the base generation (one full compress)."""
+        self._check_graph(g)
+        self.stats = {"repairs": 0, "full_rebuilds": 0}
+        self._graph = g
+        self._rebuild(g)
+        return self._compressed
+
+    def update(self, delta: EdgeDelta, new_graph: CSRGraph) -> CSRGraph:
+        """Advance to ``new_graph`` (= the old generation with ``delta``
+        applied); repairs when churn allows, otherwise recompresses."""
+        if self._graph is None:
+            raise RuntimeError("attach() a base generation before update()")
+        old = self._graph
+        churn = delta.size / max(old.num_edges, 1)
+        if churn > self.churn_threshold or self._needs_rebuild(old):
+            self._rebuild(new_graph)
+            self.stats["full_rebuilds"] += 1
+        else:
+            self._repair(old, delta, new_graph)
+            self.stats["repairs"] += 1
+        self._graph = new_graph
+        return self._compressed
+
+    @property
+    def graph(self) -> CSRGraph | None:
+        """The generation the maintainer is currently synchronized to."""
+        return self._graph
+
+    @property
+    def compressed(self) -> CSRGraph | None:
+        """The maintained compressed output for :attr:`graph`."""
+        return self._compressed
+
+    def params(self) -> dict:
+        return {}
+
+    def result(self) -> CompressionResult:
+        """The maintained output as a contract-checkable result."""
+        if self._graph is None:
+            raise RuntimeError("attach() a base generation first")
+        return CompressionResult(
+            graph=self._compressed,
+            original=self._graph,
+            scheme=self.scheme_name,
+            params=self.params(),
+            extras={"incremental": True, **self.stats},
+        )
+
+
+# --------------------------------------------------------------------- #
+# spanner
+# --------------------------------------------------------------------- #
+
+
+class IncrementalSpanner(IncrementalMaintainer):
+    """Maintain the §4.5.3 O(k)-spanner by tree-cut cluster splitting."""
+
+    scheme_name = "spanner"
+
+    def __init__(self, k: float = 4, *, seed=0, churn_threshold: float = 0.25):
+        super().__init__(seed=seed, churn_threshold=churn_threshold)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._mapping: np.ndarray | None = None  # vertex -> cluster id
+        self._next_cluster = 0
+        self._tree: dict[int, set] = {}  # cluster -> {(u, v) tree pairs}
+        self._tree_pairs: dict[tuple, int] = {}  # (u, v) -> its cluster
+        self._crossing: dict[tuple, tuple] = {}  # (c_lo, c_hi) -> (u, v)
+        self._crossing_baseline = 1  # pair count right after a full rebuild
+
+    def params(self) -> dict:
+        return {"k": self.k, "weighted": False}
+
+    def _check_graph(self, g: CSRGraph) -> None:
+        if g.directed:
+            raise ValueError(
+                "incremental spanner maintenance requires an undirected graph"
+            )
+
+    def _needs_rebuild(self, g: CSRGraph) -> bool:
+        # Tree-cut splitting can only fragment the clustering, and every
+        # extra cluster pair keeps an extra crossing edge.  Recompress
+        # once the pair count has drifted to 2x the post-rebuild
+        # baseline so output quality stays within a constant factor of
+        # the batch construction.
+        return len(self._crossing) > 2 * self._crossing_baseline + 32
+
+    # -- state construction -------------------------------------------- #
+
+    def _select_crossing(
+        self,
+        g: CSRGraph,
+        edge_ids: np.ndarray,
+        *,
+        overwrite: bool = True,
+        added: set | None = None,
+    ) -> None:
+        """Keep the min-edge-id crossing edge per unordered cluster pair
+        among ``edge_ids`` (the batch scheme's deterministic choice).
+        With ``overwrite=False`` cluster pairs that already hold a chosen
+        edge are left alone — repairs only fill the gaps they created —
+        and new choices are reported through ``added``."""
+        if not len(edge_ids):
+            return
+        cs = self._mapping[g.edge_src[edge_ids]]
+        cd = self._mapping[g.edge_dst[edge_ids]]
+        lo = np.minimum(cs, cd)
+        hi = np.maximum(cs, cd)
+        key = lo * np.int64(self._next_cluster + 1) + hi
+        order = np.lexsort((edge_ids, key))
+        _, first = np.unique(key[order], return_index=True)
+        for i in order[first]:
+            k = (int(lo[i]), int(hi[i]))
+            if not overwrite and k in self._crossing:
+                continue
+            e = int(edge_ids[i])
+            pair = (int(g.edge_src[e]), int(g.edge_dst[e]))
+            self._crossing[k] = pair
+            if added is not None:
+                added.add(pair)
+
+    def _rebuild(self, g: CSRGraph) -> None:
+        rng = as_generator(self.seed)
+        ldd = low_diameter_decomposition(g, beta_for_spanner(g, self.k), seed=rng)
+        self._mapping = ldd.mapping.astype(np.int64, copy=True)
+        self._next_cluster = ldd.num_clusters
+        self._tree = {}
+        self._tree_pairs = {}
+        self._crossing = {}
+        for v in np.flatnonzero(ldd.parent_edge_ids >= 0):
+            e = ldd.parent_edge_ids[v]
+            c = int(self._mapping[v])
+            pair = (int(g.edge_src[e]), int(g.edge_dst[e]))
+            self._tree.setdefault(c, set()).add(pair)
+            self._tree_pairs[pair] = c
+        cs = self._mapping[g.edge_src]
+        cd = self._mapping[g.edge_dst]
+        self._select_crossing(g, np.flatnonzero(cs != cd))
+        self._crossing_baseline = max(len(self._crossing), 1)
+        self._compressed = self._build_output(g)
+
+    def _repair(self, old: CSRGraph, delta: EdgeDelta, g: CSRGraph) -> None:
+        n_old, n_new = old.n, g.n
+        removed: set = set()
+        added: set = set()
+        fresh_floor = self._next_cluster
+        if n_new > n_old:
+            # New vertices become singleton clusters; they only connect
+            # through inserted edges, which the crossing scan picks up.
+            grown = np.arange(n_new - n_old, dtype=np.int64) + fresh_floor
+            self._mapping = np.concatenate([self._mapping, grown])
+            self._next_cluster += n_new - n_old
+        mapping = self._mapping
+        # 1. Classify deletes.  A lost tree edge cuts its cluster's
+        #    spanning tree; a lost *chosen* crossing edge marks its
+        #    cluster pair for a re-pick; any other delete never reached
+        #    the output.
+        cut: dict[int, list] = {}  # cluster -> its deleted tree pairs
+        repick: set = set()
+        for u, v in zip(delta.delete_src.tolist(), delta.delete_dst.tolist()):
+            p = (u, v)
+            c = self._tree_pairs.get(p)
+            if c is not None:
+                cut.setdefault(c, []).append(p)
+                continue
+            a, b = int(mapping[u]), int(mapping[v])
+            if a != b:
+                key = (a, b) if a < b else (b, a)
+                if self._crossing.get(key) == p:
+                    del self._crossing[key]
+                    removed.add(p)
+                    repick.update(key)
+        # 2. Split each cut cluster along its lost tree edges.  The
+        #    remaining tree components each still span their vertex set
+        #    (with diameter no larger than before), so the largest keeps
+        #    the cluster id and every other becomes a fresh cluster —
+        #    their tree edges stay in the output verbatim; only the cut
+        #    pairs leave it.  No LDD runs during repair.
+        for c, gone in cut.items():
+            rest = self._tree.get(c) or set()
+            for p in gone:
+                rest.discard(p)
+                del self._tree_pairs[p]
+                removed.add(p)
+            adj: dict = defaultdict(list)
+            nodes = {v for p in gone for v in p}
+            for a, b in rest:
+                adj[a].append(b)
+                adj[b].append(a)
+                nodes.add(a)
+                nodes.add(b)
+            comps = []
+            seen: set = set()
+            for s in nodes:
+                if s in seen:
+                    continue
+                comp = [s]
+                seen.add(s)
+                stack = [s]
+                while stack:
+                    x = stack.pop()
+                    for y in adj[x]:
+                        if y not in seen:
+                            seen.add(y)
+                            comp.append(y)
+                            stack.append(y)
+                comps.append(comp)
+            comps.sort(key=len, reverse=True)
+            comp_of: dict = {}
+            for comp in comps[1:]:  # the largest keeps the id c
+                cid = self._next_cluster
+                self._next_cluster += 1
+                mapping[comp] = cid
+                self._tree[cid] = set()
+                for v in comp:
+                    comp_of[v] = cid
+            for p in [p for p in rest if p[0] in comp_of]:
+                cid = comp_of[p[0]]
+                rest.discard(p)
+                self._tree[cid].add(p)
+                self._tree_pairs[p] = cid
+        # 2b. A split renames the cluster of every vertex it moved, so
+        #     crossing entries adjacent to a cut cluster may now be
+        #     filed under a stale pair: re-key them (the kept edge and
+        #     the output are unchanged).
+        if cut:
+            moves = []
+            for key, (x, y) in self._crossing.items():
+                if key[0] in cut or key[1] in cut:
+                    a, b = int(mapping[x]), int(mapping[y])
+                    nk = (a, b) if a < b else (b, a)
+                    if nk != key:
+                        moves.append((key, nk))
+            for key, nk in moves:
+                self._crossing[nk] = self._crossing.pop(key)
+        # 3. Crossing choices are needed only where the clustering
+        #    changed (any edge into a fresh cluster), where a chosen
+        #    edge was deleted, or where an edge was inserted.  Existing
+        #    choices elsewhere stay — _select_crossing fills gaps only.
+        cs = mapping[g.edge_src]
+        cd = mapping[g.edge_dst]
+        cand = (cs >= fresh_floor) | (cd >= fresh_floor)
+        if repick:
+            repick_arr = np.fromiter(repick, dtype=np.int64)
+            cand |= np.isin(cs, repick_arr) | np.isin(cd, repick_arr)
+        if delta.num_inserts:
+            cand[_require_edge_ids(g, delta.insert_src, delta.insert_dst)] = True
+        cand &= cs != cd
+        self._select_crossing(
+            g, np.flatnonzero(cand), overwrite=False, added=added
+        )
+        self._compressed = _edit_subgraph(
+            self._compressed, g, removed, added, delta
+        )
+
+    def _build_output(self, g: CSRGraph) -> CSRGraph:
+        us: list[int] = []
+        vs: list[int] = []
+        for pairs in self._tree.values():
+            for u, v in pairs:
+                us.append(u)
+                vs.append(v)
+        for u, v in self._crossing.values():
+            us.append(u)
+            vs.append(v)
+        keep = np.zeros(g.num_edges, dtype=bool)
+        if us:
+            keep[edge_ids_of_pairs(g, us, vs)] = True
+        return g.keep_edges(keep)
+
+
+# --------------------------------------------------------------------- #
+# triangle reduction (EO p-1-TR)
+# --------------------------------------------------------------------- #
+
+
+class IncrementalTriangleReduction(IncrementalMaintainer):
+    """Maintain EO p-1-TR by local triangle discovery + partner protection."""
+
+    scheme_name = "triangle_reduction"
+
+    def __init__(self, p: float, *, seed=0, churn_threshold: float = 0.25):
+        super().__init__(seed=seed, churn_threshold=churn_threshold)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+        self._considered: set = set()
+        self._deleted: dict[tuple, tuple] = {}  # pair -> (partner, partner)
+        self._protectors: dict[tuple, set] = defaultdict(set)
+        # Slot-indexed endpoint buffers mirroring _deleted's keys, so
+        # _build_output hands numpy arrays straight to the edge lookup
+        # instead of re-materializing 10k+ dict keys every update.
+        self._del_u = np.empty(0, dtype=np.int64)
+        self._del_v = np.empty(0, dtype=np.int64)
+        self._del_live = np.empty(0, dtype=bool)
+        self._del_top = 0
+        self._del_slot: dict[tuple, int] = {}
+
+    def params(self) -> dict:
+        return {"p": self.p, "x": 1, "variant": "edge_once"}
+
+    def _check_graph(self, g: CSRGraph) -> None:
+        if g.directed:
+            raise ValueError(
+                "incremental triangle reduction requires an undirected graph"
+            )
+
+    def _record_deletion(self, drawn: tuple, others: tuple) -> None:
+        self._deleted[drawn] = others
+        self._protectors[others[0]].add(drawn)
+        self._protectors[others[1]].add(drawn)
+        if self._del_top == len(self._del_u):
+            cap = max(1024, 2 * len(self._del_u))
+            for name in ("_del_u", "_del_v"):
+                buf = np.empty(cap, dtype=np.int64)
+                buf[: self._del_top] = getattr(self, name)[: self._del_top]
+                setattr(self, name, buf)
+            live = np.zeros(cap, dtype=bool)
+            live[: self._del_top] = self._del_live[: self._del_top]
+            self._del_live = live
+        s = self._del_top
+        self._del_u[s], self._del_v[s] = drawn
+        self._del_live[s] = True
+        self._del_slot[drawn] = s
+        self._del_top = s + 1
+
+    def _drop_deletion(self, pair: tuple) -> None:
+        self._del_live[self._del_slot.pop(pair)] = False
+
+    def _rebuild(self, g: CSRGraph) -> None:
+        from repro.algorithms.triangles import list_triangles
+
+        self._considered = set()
+        self._deleted = {}
+        self._protectors = defaultdict(set)
+        self._del_live[: self._del_top] = False
+        self._del_top = 0
+        self._del_slot = {}
+        rng = as_generator(self.seed)
+        tl = list_triangles(g)
+        t = tl.count
+        if t:
+            # Identical draws to TriangleReduction.compress(variant=
+            # "edge_once", x=1) with the same seed, replayed here so the
+            # first-touch winners are known *with* their triangle rows.
+            sampled = rng.random(t) < self.p
+            idx = np.flatnonzero(sampled)
+            slots = np.argsort(rng.random((len(idx), 3)), axis=1)[:, :1]
+            eids = tl.edge_ids[idx]
+            drawn = np.take_along_axis(eids, slots, axis=1)[:, 0]
+            num_events = len(idx)
+            first_touch = np.full(g.num_edges, num_events, dtype=np.int64)
+            event_of = np.repeat(np.arange(num_events, dtype=np.int64), 3)
+            np.minimum.at(first_touch, eids.ravel(), event_of)
+            wins = first_touch[drawn] == np.arange(num_events)
+
+            def pair(e: int) -> tuple:
+                return (int(g.edge_src[e]), int(g.edge_dst[e]))
+
+            for row in eids:  # every edge of a sampled triangle is considered
+                for e in row:
+                    self._considered.add(pair(int(e)))
+            for i in np.flatnonzero(wins):
+                d = int(drawn[i])
+                others = tuple(pair(int(e)) for e in eids[i] if int(e) != d)
+                self._record_deletion(pair(d), others)
+        self._compressed = self._build_output(g)
+
+    def _repair(self, old: CSRGraph, delta: EdgeDelta, g: CSRGraph) -> None:
+        # 1. Graph deletes invalidate state — and restore any TR-deleted
+        #    edge whose protecting triangle partner just disappeared.
+        for u, v in zip(delta.delete_src.tolist(), delta.delete_dst.tolist()):
+            p = (u, v)
+            self._considered.discard(p)
+            if p in self._deleted:
+                a, b = self._deleted.pop(p)
+                self._drop_deletion(p)
+                self._protectors[a].discard(p)
+                self._protectors[b].discard(p)
+            for e in list(self._protectors.pop(p, ())):
+                if e in self._deleted:
+                    a, b = self._deleted.pop(e)
+                    self._drop_deletion(e)
+                    other = b if a == p else a
+                    self._protectors[other].discard(e)
+                    # e's lottery stays spent: it remains considered.
+
+        # 2. New triangles exist only through inserted edges; discover
+        #    them by neighbor intersection and run the same EO lottery.
+        if delta.num_inserts:
+            found: set = set()
+            for u, v in zip(
+                delta.insert_src.tolist(), delta.insert_dst.tolist()
+            ):
+                common = np.intersect1d(
+                    g.neighbors(u), g.neighbors(v), assume_unique=True
+                )
+                for w in common.tolist():
+                    found.add(tuple(sorted((u, v, w))))
+            rng = np.random.default_rng([self.seed, _delta_seed_int(delta)])
+            for a, b, c in sorted(found):
+                if rng.random() < self.p:
+                    pairs3 = ((a, b), (a, c), (b, c))
+                    drawn = pairs3[int(rng.integers(3))]
+                    if drawn not in self._considered:
+                        others = tuple(q for q in pairs3 if q != drawn)
+                        self._record_deletion(drawn, others)
+                    for q in pairs3:  # protect the survivors (edge-once)
+                        self._considered.add(q)
+        self._compressed = self._build_output(g)
+
+    def _build_output(self, g: CSRGraph) -> CSRGraph:
+        # The output is always g minus the TR-deleted pairs, so deriving
+        # it from the *new* generation in one masked pass (no argsort:
+        # canonical edge keys are already sorted) beats diff-editing the
+        # previous output, and picks up weight updates for free.
+        if not self._deleted:
+            return g
+        live = self._del_live[: self._del_top]
+        us = self._del_u[: self._del_top][live]
+        vs = self._del_v[: self._del_top][live]
+        ids, found = _present_edge_ids(g, us, vs)
+        if not found.all():
+            bad = int(np.flatnonzero(~found)[0])
+            raise KeyError(
+                f"TR-deleted pair ({us[bad]}, {vs[bad]}) is not an edge"
+            )
+        keep = np.ones(g.num_edges, dtype=bool)
+        keep[ids] = False
+        return g.keep_edges(keep)
+
+
+# --------------------------------------------------------------------- #
+# low-degree removal (the deterministic, exact-equality arm)
+# --------------------------------------------------------------------- #
+
+
+class IncrementalLowDegree(IncrementalMaintainer):
+    """Maintain ``low_degree(max_degree=d, rounds=1)`` bit-identically.
+
+    Degrees are updated in O(Δ) per batch; the output is byte-for-byte
+    the batch scheme's output on the same generation, which is the
+    exact-equality case of the metamorphic invariant.
+    """
+
+    scheme_name = "low_degree"
+    deterministic = True
+
+    def __init__(
+        self, *, max_degree: int = 1, seed=0, churn_threshold: float = 0.25
+    ):
+        super().__init__(seed=seed, churn_threshold=churn_threshold)
+        if max_degree < 0:
+            raise ValueError("max_degree must be >= 0")
+        self.max_degree = int(max_degree)
+        self._degrees: np.ndarray | None = None
+
+    def params(self) -> dict:
+        return {"max_degree": self.max_degree, "rounds": 1, "relabel": False}
+
+    def _rebuild(self, g: CSRGraph) -> None:
+        self._degrees = g.degrees.astype(np.int64, copy=True)
+        self._compressed = self._build_output(g)
+
+    def _repair(self, old: CSRGraph, delta: EdgeDelta, g: CSRGraph) -> None:
+        deg = self._degrees
+        if g.n > old.n:
+            deg = np.concatenate([deg, np.zeros(g.n - old.n, dtype=np.int64)])
+        if delta.num_deletes:
+            # degrees is out-degree for directed graphs: only src moves
+            gone = (
+                delta.delete_src
+                if g.directed
+                else np.concatenate([delta.delete_src, delta.delete_dst])
+            )
+            np.subtract.at(deg, gone, 1)
+        if delta.num_inserts:
+            added = (
+                delta.insert_src
+                if g.directed
+                else np.concatenate([delta.insert_src, delta.insert_dst])
+            )
+            np.add.at(deg, added, 1)
+        self._degrees = deg
+        self._compressed = self._build_output(g)
+
+    def _build_output(self, g: CSRGraph) -> CSRGraph:
+        deg = self._degrees
+        victims = np.flatnonzero((deg > 0) & (deg <= self.max_degree))
+        if not len(victims):  # batch compress returns the input unchanged
+            return g
+        return g.remove_vertices(victims)
+
+
+# --------------------------------------------------------------------- #
+# scheme-spec plumbing
+# --------------------------------------------------------------------- #
+
+
+def maintainer_for(
+    spec, *, seed=0, churn_threshold: float = 0.25
+) -> IncrementalMaintainer:
+    """An incremental maintainer matching a batch scheme spec.
+
+    ``spec`` is anything :func:`repro.compress.registry.build_scheme`
+    accepts (``"spanner(k=4)"``, ``"EO-0.8-1-TR"``, ``"low_degree"``, or
+    a scheme instance).  Raises ``ValueError`` for schemes (or variants)
+    without an incremental maintainer.
+    """
+    scheme = build_scheme(spec) if isinstance(spec, str) else spec
+    if isinstance(scheme, Spanner):
+        if scheme.weighted:
+            raise ValueError(
+                "incremental spanner maintenance supports weighted=False only"
+            )
+        return IncrementalSpanner(
+            k=scheme.k, seed=seed, churn_threshold=churn_threshold
+        )
+    if isinstance(scheme, TriangleReduction):
+        if scheme.variant != "edge_once" or scheme.x != 1:
+            raise ValueError(
+                "incremental triangle reduction supports the edge_once "
+                f"x=1 variant only, got variant={scheme.variant!r} "
+                f"x={scheme.x}"
+            )
+        return IncrementalTriangleReduction(
+            p=scheme.p, seed=seed, churn_threshold=churn_threshold
+        )
+    if isinstance(scheme, LowDegreeVertexRemoval):
+        if scheme.relabel or scheme.rounds != 1:
+            raise ValueError(
+                "incremental low-degree removal supports rounds=1 "
+                "relabel=False only"
+            )
+        return IncrementalLowDegree(
+            max_degree=scheme.max_degree,
+            seed=seed,
+            churn_threshold=churn_threshold,
+        )
+    raise ValueError(
+        f"no incremental maintainer for scheme {scheme.name!r}; "
+        "supported: spanner, triangle_reduction (edge_once), low_degree"
+    )

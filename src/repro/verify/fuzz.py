@@ -52,6 +52,7 @@ __all__ = [
     "CaseReport",
     "MatrixSummary",
     "FAMILIES",
+    "DELTA_FAMILIES",
     "scheme_matrix",
     "SMOKE_SEEDS",
     "DEFAULT_SEEDS",
@@ -91,6 +92,95 @@ FAMILIES = {
         gen.balanced_tree(2, 2 + seed % 2),
         gen.triangle_strip(4 + seed % 3),
     ),
+}
+
+def _delta_batches(
+    g: CSRGraph,
+    seed: int,
+    *,
+    batches: int = 3,
+    ops: int = 12,
+    insert_frac: float = 0.5,
+    grow_vertices: int = 0,
+):
+    """Deterministic, sequentially valid delta batches for ``g``.
+
+    ``insert_frac`` splits each batch's ``ops`` between inserts and
+    deletes; ``grow_vertices`` stretches the vertex set per batch (the
+    growth path of :meth:`CSRGraph.insert_edges`).  Weighted graphs get
+    weighted inserts plus a couple of weight updates per batch.  Fully
+    determined by ``(g, seed)``, so a case id replays its delta stream.
+    """
+    from repro.stream.delta import EdgeDelta
+
+    rng = as_generator((seed + 1) * 86243)
+    edges = set(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+    weighted = g.is_weighted
+    n = g.n
+    deltas = []
+    for _ in range(batches):
+        num_ins = int(round(ops * insert_frac))
+        num_del = ops - num_ins
+        pool = sorted(edges)
+        deletes: list[tuple[int, int]] = []
+        take = min(num_del, len(pool))
+        if take:
+            idx = rng.choice(len(pool), size=take, replace=False)
+            deletes = [pool[i] for i in sorted(idx.tolist())]
+            edges.difference_update(deletes)
+        n += grow_vertices
+        inserts: list = []
+        fresh: set = set()
+        tries = 0
+        while len(fresh) < num_ins and tries < 60 * max(num_ins, 1):
+            tries += 1
+            u = int(rng.integers(n))
+            v = int(rng.integers(n))
+            if u == v:
+                continue
+            p = (min(u, v), max(u, v))
+            if p in edges or p in fresh or p in deletes:
+                continue
+            fresh.add(p)
+            inserts.append(
+                (*p, round(float(rng.uniform(0.5, 2.0)), 3)) if weighted else p
+            )
+        edges.update(fresh)
+        updates = None
+        if weighted:
+            survivors = sorted(edges - fresh)
+            take_u = min(2, len(survivors))
+            if take_u:
+                idx = rng.choice(len(survivors), size=take_u, replace=False)
+                updates = [
+                    (*survivors[i], round(float(rng.uniform(0.5, 2.0)), 3))
+                    for i in sorted(idx.tolist())
+                ]
+        deltas.append(
+            EdgeDelta.build(
+                inserts=inserts,
+                deletes=deletes,
+                updates=updates,
+                directed=g.directed,
+                num_vertices=n,
+            )
+        )
+    return deltas
+
+
+#: delta family name -> deterministic builder ``fn(g, seed) ->
+#: list[EdgeDelta]``.  Same replayability contract as :data:`FAMILIES`:
+#: a case id pins the base graph *and* (via the seed) its delta stream,
+#: so a failing incremental check replays exactly.
+DELTA_FAMILIES = {
+    # balanced insert/delete churn — the steady-state streaming regime
+    "churn": lambda g, seed: _delta_batches(g, seed, insert_frac=0.5),
+    # insert-heavy with vertex growth — exercises mapping/degree growth
+    "grow": lambda g, seed: _delta_batches(
+        g, seed, insert_frac=0.8, grow_vertices=2
+    ),
+    # delete-heavy — exercises repair around removed structure
+    "shrink": lambda g, seed: _delta_batches(g, seed, insert_frac=0.2),
 }
 
 _DIR_TOKENS = {False: "und", True: "dir"}
@@ -273,6 +363,24 @@ def _scheme_checks(case: FuzzCase, g: CSRGraph) -> tuple[int, list[str]]:
     failures.extend(
         guarded("fastpath_identity", lambda: properties.fastpath_identity(g, mask))
     )
+
+    # Streaming metamorphic invariant: every delta family × every scheme
+    # with an incremental maintainer.  The delta stream is rebuilt from
+    # (g, seed), so these replay from the case id like everything else.
+    incremental_specs = ("spanner(k=4)", "EO-0.8-1-TR", "low_degree")
+    for fam_name, delta_builder in DELTA_FAMILIES.items():
+        for spec in incremental_specs:
+            checks += 1
+            failures.extend(
+                guarded(
+                    f"incremental[{spec}][{fam_name}]",
+                    lambda b=delta_builder, s=spec: (
+                        properties.incremental_equivalence(
+                            g, b(g, case.seed), s, seed=case.seed
+                        )
+                    ),
+                )
+            )
     return checks, failures
 
 

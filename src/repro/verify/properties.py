@@ -37,6 +37,7 @@ __all__ = [
     "tr_preserves_components",
     "spanner_invariants",
     "fastpath_identity",
+    "incremental_equivalence",
     "snapshot_roundtrip",
     "store_roundtrip",
     "parallel_grid_equivalence",
@@ -296,6 +297,88 @@ def spanner_invariants(
                     f"original {d0[v]}, spanner {d1[v]}, bound {check.bound}"
                 )
                 return out
+    return out
+
+
+def incremental_equivalence(
+    g: CSRGraph,
+    deltas,
+    spec: str,
+    *,
+    seed=0,
+    churn_threshold: float = 0.25,
+    num_sources: int = 2,
+) -> list[str]:
+    """The streaming metamorphic invariant:
+    ``recompress(apply(G, Δ)) ≡ incremental(G, Δ)``.
+
+    A maintainer for ``spec`` is attached to ``g`` and advanced through
+    ``deltas`` alongside a :class:`~repro.stream.ingest.GraphStream`.
+    After every generation the maintained output must match a full
+    recompress of that generation:
+
+    - **exactly** (bit-identical buffers) for deterministic maintainers
+      (``low_degree``);
+    - **contract-level** for seeded ones — the output passes the batch
+      scheme's subgraph invariants against the current generation, plus
+      the scheme's deterministic Table 3 cell: #CC preserved
+      (``spanner_components`` / ``eo_tr_components``) and, for spanners,
+      the O(k) distance-stretch bound on sampled sources.
+
+    Returns violation strings (empty = pass); stops at the first failing
+    generation so the messages point at the earliest divergence.
+    """
+    from repro.stream.incremental import maintainer_for
+    from repro.stream.ingest import GraphStream
+
+    maintainer = maintainer_for(
+        spec, seed=seed, churn_threshold=churn_threshold
+    )
+    stream = GraphStream(g)
+    maintainer.attach(g)
+    out: list[str] = []
+    for i, delta in enumerate(deltas):
+        generation = stream.apply(delta)
+        maintainer.update(delta, generation)
+        ctx = f"generation {i + 1} of {spec}"
+        out += [f"{ctx}: {m}" for m in subgraph_invariants(maintainer.result())]
+        comp = maintainer.compressed
+        if maintainer.deterministic:
+            batch = build_scheme(spec).compress(generation, seed=seed).graph
+            out += _compare_buffers(comp, batch, f"({ctx} vs full recompress)")
+        else:
+            c0 = connected_components(generation).num_components
+            c1 = connected_components(comp).num_components
+            if maintainer.scheme_name == "spanner":
+                out += [
+                    f"{ctx}: {m}"
+                    for m in _failed(bounds.spanner_components(c0, c1))
+                ]
+                k = maintainer.params()["k"]
+                sources = np.flatnonzero(generation.degrees > 0)[:num_sources]
+                for s in (int(v) for v in sources):
+                    d0 = bfs(generation, s).level.astype(np.float64)
+                    d1 = bfs(comp, s).level.astype(np.float64)
+                    d0[d0 < 0] = np.inf
+                    d1[d1 < 0] = np.inf
+                    for v in np.flatnonzero(np.isfinite(d0)):
+                        check = bounds.spanner_distance_stretch(
+                            float(d0[v]), float(d1[v]), k
+                        )
+                        if not check.holds:
+                            out.append(
+                                f"{ctx}: stretch violated for pair "
+                                f"({s}, {int(v)}): original {d0[v]}, "
+                                f"maintained {d1[v]}, bound {check.bound}"
+                            )
+                            break
+            else:
+                out += [
+                    f"{ctx}: {m}"
+                    for m in _failed(bounds.eo_tr_components(c0, c1))
+                ]
+        if out:
+            return out
     return out
 
 

@@ -7,6 +7,8 @@ from repro.graphs import datasets
 from repro.graphs.builder import GraphBuilder
 from repro.graphs.csr import CSRGraph
 from repro.graphs.edgelist import (
+    iter_edge_rows,
+    parse_edge_row,
     read_npz,
     read_text,
     storage_bytes,
@@ -136,6 +138,67 @@ class TestEdgeList:
     def test_storage_bytes_scales_with_edges(self, er300):
         half = er300.keep_edges(np.arange(er300.num_edges) < er300.num_edges // 2)
         assert storage_bytes(half) < storage_bytes(er300)
+
+
+class TestEdgeListRobustness:
+    """Real SNAP/KONECT dumps are messy; the reader must name offenders."""
+
+    def test_blank_lines_crlf_and_percent_comments(self, tmp_path):
+        path = tmp_path / "messy.txt"
+        path.write_bytes(
+            b"% KONECT header\r\n"
+            b"\r\n"
+            b"0 1\r\n"
+            b"   \n"
+            b"# plain comment\n"
+            b"1 2\r\n"
+        )
+        g = read_text(path)
+        assert g.n == 3 and g.num_edges == 2
+
+    def test_too_few_fields_named(self, tmp_path):
+        path = tmp_path / "short.txt"
+        path.write_text("0 1\n7\n")
+        with pytest.raises(ValueError, match=r"short.txt:2: malformed edge row '7'"):
+            read_text(path)
+
+    def test_too_many_fields_named(self, tmp_path):
+        path = tmp_path / "wide.txt"
+        path.write_text("0 1 2.0 extra\n")
+        with pytest.raises(ValueError, match=r"wide.txt:1: .*4 fields"):
+            read_text(path)
+
+    def test_non_integer_endpoint_named(self, tmp_path):
+        path = tmp_path / "alpha.txt"
+        path.write_text("0 1\na b\n")
+        with pytest.raises(ValueError, match=r"alpha.txt:2: .*must be integers"):
+            read_text(path)
+
+    def test_non_numeric_weight_named(self, tmp_path):
+        path = tmp_path / "badw.txt"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(ValueError, match=r"badw.txt:1: .*must be a number"):
+            read_text(path)
+
+    def test_mixed_weightedness_named_both_directions(self, tmp_path):
+        gains = tmp_path / "gains.txt"
+        gains.write_text("0 1\n1 2 2.5\n")
+        with pytest.raises(ValueError, match=r"gains.txt:2: mixed"):
+            read_text(gains)
+        loses = tmp_path / "loses.txt"
+        loses.write_text("0 1 2.5\n1 2\n")
+        with pytest.raises(ValueError, match=r"loses.txt:2: mixed"):
+            read_text(loses)
+
+    def test_iter_edge_rows_linenos_point_into_the_file(self):
+        rows = list(
+            iter_edge_rows(["# c\n", "\n", "0 1\n", "% k\n", "2 3\r\n"])
+        )
+        assert rows == [(3, "0 1"), (5, "2 3")]
+
+    def test_parse_edge_row_weight_optional(self):
+        assert parse_edge_row("4 5") == (4, 5, None)
+        assert parse_edge_row("4 5 0.25") == (4, 5, 0.25)
 
 
 class TestWeights:

@@ -1,0 +1,224 @@
+"""The edge-delta batch model: canonical form, validation, round trips.
+
+``EdgeDelta`` is the value object of the streaming subsystem — these
+tests pin its contract: two batches describing the same edit are equal
+(and share a delta id) regardless of input order, every malformed batch
+fails with the offender named, and the JSON / NPZ / text-stream round
+trips are lossless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stream.delta import EdgeDelta, read_stream, write_stream
+
+
+class TestCanonicalForm:
+    def test_input_order_is_irrelevant(self):
+        a = EdgeDelta.build(inserts=[(3, 1), (0, 2)], deletes=[(5, 4)])
+        b = EdgeDelta.build(inserts=[(2, 0), (1, 3)], deletes=[(4, 5)])
+        assert a == b
+        assert a.delta_id == b.delta_id
+
+    def test_undirected_endpoints_are_lo_hi(self):
+        d = EdgeDelta.build(inserts=[(7, 2)])
+        assert d.insert_src.tolist() == [2]
+        assert d.insert_dst.tolist() == [7]
+
+    def test_directed_endpoints_are_kept(self):
+        d = EdgeDelta.build(inserts=[(7, 2)], directed=True)
+        assert (d.insert_src[0], d.insert_dst[0]) == (7, 2)
+
+    def test_weights_follow_their_edges_through_the_sort(self):
+        d = EdgeDelta.build(inserts=[(3, 1, 30.0), (0, 2, 10.0)])
+        assert d.insert_src.tolist() == [0, 1]
+        assert d.insert_weights.tolist() == [10.0, 30.0]
+
+    def test_delta_id_tracks_content(self):
+        base = EdgeDelta.build(inserts=[(0, 1)])
+        assert base.delta_id != EdgeDelta.build(inserts=[(0, 2)]).delta_id
+        assert base.delta_id != EdgeDelta.build(deletes=[(0, 1)]).delta_id
+        assert (
+            base.delta_id
+            != EdgeDelta.build(inserts=[(0, 1)], directed=True).delta_id
+        )
+        assert (
+            base.delta_id
+            != EdgeDelta.build(inserts=[(0, 1)], num_vertices=9).delta_id
+        )
+
+    def test_arrays_are_frozen(self):
+        d = EdgeDelta.build(inserts=[(0, 1)], updates=[(2, 3, 1.0)])
+        for arr in (d.insert_src, d.update_weights):
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_size_and_empty(self):
+        d = EdgeDelta.build(
+            inserts=[(0, 1)], deletes=[(2, 3)], updates=[(4, 5, 1.0)]
+        )
+        assert (d.num_inserts, d.num_deletes, d.num_updates) == (1, 1, 1)
+        assert d.size == 3
+        assert not d.is_empty
+        assert EdgeDelta.empty().is_empty
+        # growth-only batches are not empty: they still change the graph
+        assert not EdgeDelta.empty(num_vertices=5).is_empty
+
+    def test_touched_vertices(self):
+        d = EdgeDelta.build(
+            inserts=[(0, 1)], deletes=[(2, 3)], updates=[(1, 4, 1.0)]
+        )
+        assert d.touched_vertices().tolist() == [0, 1, 2, 3, 4]
+
+
+class TestValidation:
+    def test_self_loop_named(self):
+        with pytest.raises(ValueError, match=r"insert of self-loop \(3, 3\)"):
+            EdgeDelta.build(inserts=[(3, 3)])
+
+    def test_negative_endpoint_named(self):
+        with pytest.raises(ValueError, match=r"delete endpoint of edge"):
+            EdgeDelta.build(deletes=[(-1, 2)])
+
+    def test_out_of_range_vs_num_vertices_named(self):
+        with pytest.raises(ValueError, match=r"out of range for num_vertices=3"):
+            EdgeDelta.build(inserts=[(0, 5)], num_vertices=3)
+
+    def test_duplicate_within_op_named(self):
+        # (1, 0) and (0, 1) are the same undirected edge.
+        with pytest.raises(ValueError, match=r"duplicate insert of edge \(0, 1\)"):
+            EdgeDelta.build(inserts=[(1, 0), (0, 1)])
+
+    def test_edge_in_two_op_sets_named(self):
+        with pytest.raises(ValueError, match=r"appears in both insert"):
+            EdgeDelta.build(inserts=[(0, 1)], deletes=[(1, 0)])
+
+    def test_mixed_insert_arity_rejected(self):
+        with pytest.raises(ValueError, match="all \\(u, v\\) or all"):
+            EdgeDelta.build(inserts=[(0, 1), (2, 3, 1.0)])
+
+    def test_update_needs_weight(self):
+        with pytest.raises(ValueError, match="updates must be"):
+            EdgeDelta.build(updates=[(0, 1)])
+
+    def test_negative_num_vertices_rejected(self):
+        with pytest.raises(ValueError, match="num_vertices must be >= 0"):
+            EdgeDelta.build(num_vertices=-1)
+
+
+class TestRoundTrips:
+    def make(self, weighted=False):
+        inserts = [(0, 1, 1.5), (2, 3, 0.25)] if weighted else [(0, 1), (2, 3)]
+        return EdgeDelta.build(
+            inserts=inserts,
+            deletes=[(4, 5)],
+            updates=[(6, 7, 2.0)],
+            num_vertices=10,
+        )
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_dict_roundtrip(self, weighted):
+        d = self.make(weighted)
+        back = EdgeDelta.from_dict(d.to_dict())
+        assert back == d
+        assert back.delta_id == d.delta_id
+
+    def test_dict_rejects_unknown_fields(self):
+        data = self.make().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown delta fields"):
+            EdgeDelta.from_dict(data)
+
+    def test_dict_rejects_future_schema(self):
+        data = self.make().to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema version 999"):
+            EdgeDelta.from_dict(data)
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_npz_roundtrip(self, weighted, tmp_path):
+        d = self.make(weighted)
+        path = d.save_npz(tmp_path / "d.npz")
+        back = EdgeDelta.load_npz(path)
+        assert back == d
+        assert back.delta_id == d.delta_id
+
+    def test_npz_rejects_non_delta_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(ValueError, match="not an edge-delta file"):
+            EdgeDelta.load_npz(path)
+
+
+class TestStreamFiles:
+    def test_stream_roundtrip(self, tmp_path):
+        deltas = [
+            EdgeDelta.build(inserts=[(0, 1), (1, 2)], num_vertices=4),
+            EdgeDelta.build(deletes=[(0, 1)], inserts=[(2, 3)]),
+        ]
+        path = write_stream(deltas, tmp_path / "s.txt")
+        back = read_stream(path)
+        assert back == deltas
+        assert [d.delta_id for d in back] == [d.delta_id for d in deltas]
+
+    def test_weighted_stream_roundtrip(self, tmp_path):
+        deltas = [
+            EdgeDelta.build(inserts=[(0, 1, 0.5)], num_vertices=3),
+            EdgeDelta.build(updates=[(0, 1, 2.5)]),
+        ]
+        back = read_stream(write_stream(deltas, tmp_path / "w.txt"))
+        assert back == deltas
+
+    def test_plain_edge_list_is_a_one_batch_stream(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n1 2\n\n% konect comment\n2 3\n")
+        (delta,) = read_stream(path)
+        assert delta.num_inserts == 3
+        assert delta.num_deletes == 0
+
+    def test_header_directedness_and_override(self, tmp_path):
+        path = tmp_path / "dir.txt"
+        path.write_text("# repro edge stream: directed=1\n+ 2 0\ncommit\n")
+        (delta,) = read_stream(path)
+        assert delta.directed
+        assert (delta.insert_src[0], delta.insert_dst[0]) == (2, 0)
+        (und,) = read_stream(path, directed=False)
+        assert not und.directed
+
+    def test_commit_n_grows_the_vertex_set(self, tmp_path):
+        path = tmp_path / "n.txt"
+        path.write_text("+ 0 1\ncommit n=9\n")
+        (delta,) = read_stream(path)
+        assert delta.num_vertices == 9
+
+    def test_invalid_batch_names_the_commit_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("+ 0 1\n- 1 0\ncommit\n")
+        with pytest.raises(ValueError, match=r"bad.txt:3: invalid batch"):
+            read_stream(path)
+
+    def test_delete_row_with_weight_rejected(self, tmp_path):
+        path = tmp_path / "delw.txt"
+        path.write_text("- 0 1 2.5\n")
+        with pytest.raises(ValueError, match="carries a weight"):
+            read_stream(path)
+
+    def test_update_row_without_weight_rejected(self, tmp_path):
+        path = tmp_path / "updw.txt"
+        path.write_text("= 0 1\n")
+        with pytest.raises(ValueError, match="needs a weight"):
+            read_stream(path)
+
+    def test_malformed_commit_row_named(self, tmp_path):
+        path = tmp_path / "badcommit.txt"
+        path.write_text("+ 0 1\ncommit n=five\n")
+        with pytest.raises(ValueError, match=r"badcommit.txt:2: malformed commit"):
+            read_stream(path)
+
+    def test_mixed_directedness_rejected_on_write(self, tmp_path):
+        deltas = [
+            EdgeDelta.build(inserts=[(0, 1)]),
+            EdgeDelta.build(inserts=[(1, 2)], directed=True),
+        ]
+        with pytest.raises(ValueError, match="share the stream's directedness"):
+            write_stream(deltas, tmp_path / "mixed.txt")

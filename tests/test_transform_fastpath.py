@@ -137,6 +137,121 @@ def test_with_weights_shares_structure(g, seed):
     )
 
 
+@st.composite
+def graph_and_insert_batch(draw):
+    """A parent graph plus a valid batch of fresh edges (maybe growing n)."""
+    g = draw(random_graphs(max_n=20, max_m=60))
+    grow = draw(st.integers(0, 4))
+    n_new = g.n + grow
+    present = set(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n_new - 1), st.integers(0, n_new - 1)),
+            max_size=25,
+        )
+    )
+    fresh: list[tuple[int, int]] = []
+    seen: set = set()
+    for u, v in pairs:
+        if u == v:
+            continue
+        p = (u, v) if g.directed else (min(u, v), max(u, v))
+        if p in present or p in seen:
+            continue
+        seen.add(p)
+        fresh.append(p)
+    weights = None
+    if g.is_weighted:
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=len(fresh),
+                max_size=len(fresh),
+            )
+        )
+    return g, fresh, weights, n_new
+
+
+@given(graph_and_insert_batch())
+@settings(max_examples=120, deadline=None)
+def test_insert_edges_identical_to_from_edges(batch):
+    g, fresh, weights, n_new = batch
+    src = [p[0] for p in fresh]
+    dst = [p[1] for p in fresh]
+    fast = g.insert_edges(src, dst, weights, num_vertices=n_new)
+
+    all_src = np.concatenate([g.edge_src, np.asarray(src, dtype=np.int64)])
+    all_dst = np.concatenate([g.edge_dst, np.asarray(dst, dtype=np.int64)])
+    w = None
+    if g.is_weighted:
+        w = np.concatenate(
+            [g.edge_weights, np.asarray(weights, dtype=np.float64)]
+        )
+    from_scratch = CSRGraph.from_edges(
+        n_new, all_src, all_dst, w, directed=g.directed
+    )
+    assert_buffers_identical(fast, from_scratch)
+    fast.validate()
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_insert_edges_empty_batch(g):
+    # No batch, no growth: immutability makes returning self safe.
+    assert g.insert_edges([], []) is g
+    # No batch, growth: isolated vertices appended, buffers shared.
+    grown = g.insert_edges([], [], num_vertices=g.n + 3)
+    assert grown.n == g.n + 3
+    assert grown.indices is g.indices
+    assert np.array_equal(grown.indptr[: g.n + 1], g.indptr)
+    assert np.all(grown.indptr[g.n:] == g.indptr[-1])
+    grown.validate()
+
+
+class TestInsertEdgesValidation:
+    def setup_method(self):
+        self.g = CSRGraph.from_edges(4, [0, 1, 2], [1, 2, 3])
+
+    def test_out_of_range_endpoint_named(self):
+        with pytest.raises(ValueError, match=r"endpoint 4 of inserted edge"):
+            self.g.insert_edges([0], [4])
+
+    def test_negative_endpoint_rejected_not_wrapped(self):
+        # numpy would read -1 as "last vertex"; the contract forbids it.
+        with pytest.raises(ValueError, match=r"endpoint -1 of inserted edge"):
+            self.g.insert_edges([-1], [2])
+
+    def test_self_loop_named(self):
+        with pytest.raises(ValueError, match=r"self-loop \(2, 2\)"):
+            self.g.insert_edges([2], [2])
+
+    def test_duplicate_in_batch_named(self):
+        with pytest.raises(ValueError, match=r"duplicate edge \(0, 3\)"):
+            self.g.insert_edges([0, 3], [3, 0])  # same undirected edge
+
+    def test_already_present_named(self):
+        with pytest.raises(ValueError, match=r"edge \(1, 2\) is already present"):
+            self.g.insert_edges([2], [1])
+
+    def test_num_vertices_cannot_shrink(self):
+        with pytest.raises(ValueError, match="may not shrink"):
+            self.g.insert_edges([], [], num_vertices=3)
+
+    def test_weighted_graph_requires_weights(self):
+        wg = self.g.with_weights([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="must carry weights"):
+            wg.insert_edges([0], [3])
+
+    def test_unweighted_graph_rejects_weights(self):
+        with pytest.raises(ValueError, match="may not carry weights"):
+            self.g.insert_edges([0], [3], [1.5])
+
+    def test_weight_length_must_match(self):
+        wg = self.g.with_weights([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="match the number of inserted"):
+            wg.insert_edges([0], [3], [1.0, 2.0])
+
+
 class TestDeleteEdgesValidation:
     def setup_method(self):
         self.g = CSRGraph.from_edges(4, [0, 1, 2], [1, 2, 3])
