@@ -29,6 +29,8 @@ Run::
 from __future__ import annotations
 
 import argparse
+import gc
+import statistics
 import time
 from pathlib import Path
 
@@ -47,6 +49,11 @@ SMOKE_SIZES = (5_000, 20_000)
 
 #: The acceptance threshold: fast-path keep_edges on the largest graph.
 MIN_KEEP_EDGES_SPEEDUP = 3.0
+
+#: Enabled-tracer overhead budget on the largest transform path: the
+#: span() calls left on hot paths must cost <= 2% wall time beyond the
+#: A/A (off-vs-off) noise floor measured in the same rounds.
+MAX_OBS_OVERHEAD = 1.02
 
 CHAIN_SPEC = "low_degree(max_degree=1) | uniform(p=0.5) | spanner(k=4)"
 
@@ -173,6 +180,87 @@ def bench_chains(sizes, repeats: int) -> list[dict]:
     return rows
 
 
+def bench_obs_overhead(m: int, repeats: int) -> dict:
+    """Instrumentation cost: the spanned transform path, tracer off vs on.
+
+    Each round times three back-to-back arms — tracer off, tracer on,
+    tracer off again, with the order rotating per round — yielding a
+    per-round on/off ratio plus an A/A (off-vs-off) control with
+    identical statistics.  Shared-container jitter on this path runs
+    several percent per call, larger than the span cost itself, so the
+    full run asserts the median on/off ratio stays within
+    :data:`MAX_OBS_OVERHEAD` of the median A/A spread: the overhead
+    must be invisible beyond the same-config noise floor measured in
+    the very same rounds.
+    """
+    from repro.obs.spans import disable_tracing, enable_tracing, span, tracer
+
+    g = _transform_graph(m, seed=5)
+    rng = np.random.default_rng(11)
+    mask = rng.random(g.num_edges) < 0.5
+
+    def traced():
+        with span("bench.keep_edges", m=g.num_edges):
+            g.keep_edges(mask)
+
+    batch = 5
+
+    def sample() -> float:
+        # Average a batch per sample: single-call jitter on this path
+        # dwarfs the span cost, batching divides it by sqrt(batch).
+        start = time.perf_counter()
+        for _ in range(batch):
+            traced()
+        return (time.perf_counter() - start) / batch
+
+    arms = ("off_a", "on", "off_b")
+    rounds: list[dict] = []
+    disable_tracing()
+    tracer().clear()
+    traced()  # warmup
+    assert len(tracer()) == 0, "disabled tracer must record nothing"
+    gc.disable()
+    try:
+        for i in range(repeats * 3):
+            vals = {}
+            for arm in arms[i % 3 :] + arms[: i % 3]:
+                if arm == "on":
+                    enable_tracing()
+                else:
+                    disable_tracing()
+                vals[arm] = sample()
+            rounds.append(vals)
+    finally:
+        gc.enable()
+        disable_tracing()
+        tracer().clear()
+    ratio = statistics.median(
+        2 * r["on"] / (r["off_a"] + r["off_b"]) for r in rounds
+    )
+    aa = statistics.median(
+        max(r["off_a"], r["off_b"]) / min(r["off_a"], r["off_b"])
+        for r in rounds
+    )
+    row = {
+        "m": g.num_edges,
+        "rounds": len(rounds),
+        "calls_per_sample": batch,
+        "tracer_off_seconds": min(
+            min(r["off_a"], r["off_b"]) for r in rounds
+        ),
+        "tracer_on_seconds": min(r["on"] for r in rounds),
+        "overhead_ratio": ratio,
+        "aa_noise_ratio": aa,
+    }
+    print(
+        f"obs overhead m={g.num_edges:>9,}: "
+        f"off {row['tracer_off_seconds'] * 1e3:8.2f} ms   "
+        f"on {row['tracer_on_seconds'] * 1e3:8.2f} ms   "
+        f"ratio {ratio:.4f}x   A/A noise {aa:.4f}x"
+    )
+    return row
+
+
 def run(smoke: bool, repeats: int, out_dir) -> Path:
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     perf = {
@@ -182,6 +270,7 @@ def run(smoke: bool, repeats: int, out_dir) -> Path:
         "transforms": bench_transforms(sizes, repeats),
         "triangle_cache": bench_triangle_cache(smoke),
         "chains": bench_chains(sizes, repeats),
+        "obs_overhead": bench_obs_overhead(sizes[-1], max(repeats, 5)),
     }
     largest = perf["transforms"][-1]
     perf["keep_edges_speedup_at_largest"] = largest["keep_edges_speedup"]
@@ -191,6 +280,14 @@ def run(smoke: bool, repeats: int, out_dir) -> Path:
             f"fast keep_edges is only {largest['keep_edges_speedup']:.2f}x "
             f"faster than the rebuild at m={largest['m']:,} "
             f"(expected >= {MIN_KEEP_EDGES_SPEEDUP}x)"
+        )
+        overhead = perf["obs_overhead"]
+        assert overhead["m"] >= 1_000_000, overhead
+        budget = MAX_OBS_OVERHEAD * overhead["aa_noise_ratio"]
+        assert overhead["overhead_ratio"] <= budget, (
+            f"enabled tracing costs {overhead['overhead_ratio']:.4f}x on the "
+            f"m={overhead['m']:,} transform path (budget {MAX_OBS_OVERHEAD}x "
+            f"beyond the {overhead['aa_noise_ratio']:.4f}x A/A noise floor)"
         )
     path = write_perf_record("core", perf, out_dir)
     print(f"wrote {path}")

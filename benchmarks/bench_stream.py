@@ -26,6 +26,8 @@ Run::
 from __future__ import annotations
 
 import argparse
+import gc
+import statistics
 import time
 from pathlib import Path
 
@@ -51,6 +53,11 @@ SMOKE_INCREMENTAL_N = 7_000
 
 #: The acceptance threshold: repair vs. full recompress, every scheme.
 MIN_INCREMENTAL_SPEEDUP = 5.0
+
+#: Enabled-tracer overhead budget on the largest apply path (same 2%
+#: beyond-the-A/A-noise-floor promise ``benchmarks/bench_core.py``
+#: makes for the transform path).
+MAX_OBS_OVERHEAD = 1.02
 
 #: Churn per batch as a fraction of m (the criterion says <= 1%).
 CHURN = 0.01
@@ -179,6 +186,78 @@ def bench_incremental(n: int, repeats: int, batches: int = 3) -> list[dict]:
     return rows
 
 
+def bench_obs_overhead(m: int, repeats: int) -> dict:
+    """Instrumentation cost on delta application, tracer off vs on.
+
+    Rounds of three back-to-back arms — off, on, off again, order
+    rotating — yield per-round on/off ratios plus an A/A (off-vs-off)
+    control with identical statistics; shared-container jitter on this
+    path runs several percent per call, so the full run asserts the
+    median on/off ratio against :data:`MAX_OBS_OVERHEAD` *beyond* the
+    median A/A spread measured in the same rounds.
+    """
+    from repro.obs.spans import disable_tracing, enable_tracing, span, tracer
+
+    g = gen.erdos_renyi(max(m // 8, 16), m=m, seed=5)
+    ops = max(int(g.num_edges * CHURN), 10)
+    delta = _churn_delta(g, seed=9, ops=ops)
+
+    def traced():
+        with span("bench.apply", ops=delta.size):
+            apply_delta(g, delta)
+
+    def sample() -> float:
+        start = time.perf_counter()
+        traced()
+        return time.perf_counter() - start
+
+    arms = ("off_a", "on", "off_b")
+    rounds: list[dict] = []
+    disable_tracing()
+    tracer().clear()
+    traced()  # warmup
+    gc.disable()
+    try:
+        for i in range(repeats * 3):
+            vals = {}
+            for arm in arms[i % 3 :] + arms[: i % 3]:
+                if arm == "on":
+                    enable_tracing()
+                else:
+                    disable_tracing()
+                vals[arm] = sample()
+            rounds.append(vals)
+    finally:
+        gc.enable()
+        disable_tracing()
+        tracer().clear()
+    ratio = statistics.median(
+        2 * r["on"] / (r["off_a"] + r["off_b"]) for r in rounds
+    )
+    aa = statistics.median(
+        max(r["off_a"], r["off_b"]) / min(r["off_a"], r["off_b"])
+        for r in rounds
+    )
+    row = {
+        "m": g.num_edges,
+        "delta_ops": delta.size,
+        "rounds": len(rounds),
+        "tracer_off_seconds": min(
+            min(r["off_a"], r["off_b"]) for r in rounds
+        ),
+        "tracer_on_seconds": min(r["on"] for r in rounds),
+        "overhead_ratio": ratio,
+        "aa_noise_ratio": aa,
+    }
+    print(
+        f"obs overhead m={g.num_edges:>9,} ops={delta.size:>6,}: "
+        f"off {row['tracer_off_seconds'] * 1e3:8.2f} ms   "
+        f"on {row['tracer_on_seconds'] * 1e3:8.2f} ms   "
+        f"ratio {ratio:.4f}x   A/A noise {aa:.4f}x"
+    )
+    return row
+
+
 def run(smoke: bool, repeats: int, out_dir) -> Path:
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     inc_n = SMOKE_INCREMENTAL_N if smoke else FULL_INCREMENTAL_N
@@ -188,6 +267,7 @@ def run(smoke: bool, repeats: int, out_dir) -> Path:
         "repeats": repeats,
         "apply": bench_apply(sizes, repeats),
         "incremental": bench_incremental(inc_n, repeats),
+        "obs_overhead": bench_obs_overhead(sizes[-1], max(repeats, 5)),
     }
     perf["incremental_speedups"] = {
         row["spec"]: row["speedup"] for row in perf["incremental"]
@@ -201,6 +281,14 @@ def run(smoke: bool, repeats: int, out_dir) -> Path:
                 f"{row['churn']:.0%} churn (expected >= "
                 f"{MIN_INCREMENTAL_SPEEDUP}x)"
             )
+        overhead = perf["obs_overhead"]
+        assert overhead["m"] >= 1_000_000, overhead
+        budget = MAX_OBS_OVERHEAD * overhead["aa_noise_ratio"]
+        assert overhead["overhead_ratio"] <= budget, (
+            f"enabled tracing costs {overhead['overhead_ratio']:.4f}x on the "
+            f"m={overhead['m']:,} apply path (budget {MAX_OBS_OVERHEAD}x "
+            f"beyond the {overhead['aa_noise_ratio']:.4f}x A/A noise floor)"
+        )
     path = write_perf_record("stream", perf, out_dir)
     print(f"wrote {path}")
     return path

@@ -49,6 +49,8 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.utils.timer import timed_call
 
+from repro.obs.spans import enable_tracing, span as _span, tracer as _tracer
+
 from repro.algorithms.adapters import get_adapter
 from repro.algorithms.registry import BoundAlgorithm, build_algorithm
 from repro.algorithms.spec import AlgorithmSpec as DeclarativeAlgorithmSpec
@@ -448,6 +450,13 @@ class Session:
         fans grid cells out over a process pool
         (:mod:`repro.runner.parallel`).  ``None``/``0``/``1`` stay
         in-process.
+    trace:
+        Turn on span tracing (:mod:`repro.obs.spans`) for this process.
+        ``True`` enables the global tracer; a path additionally makes
+        :meth:`write_trace` default to writing the Chrome trace-event
+        export there.  Worker processes spawned by parallel grids record
+        their own spans and the session stitches them under the
+        scheduling span, so one export covers every process.
     """
 
     def __init__(
@@ -461,6 +470,7 @@ class Session:
         pr_iterations: int = 100,
         store=None,
         jobs: int | None = None,
+        trace=None,
     ):
         self.graph = graph
         self.seed = seed
@@ -474,6 +484,13 @@ class Session:
             store = ArtifactStore(store)
         self.store = store
         self.jobs = jobs
+        #: Default export path for :meth:`write_trace` (None = must be
+        #: passed explicitly).  Tracing itself is process-global.
+        self.trace_path = None
+        if trace:
+            enable_tracing()
+            if not isinstance(trace, bool):
+                self.trace_path = trace
         #: Execution statistics of the most recent :meth:`grid` call
         #: ({} until one runs): cache_hits/cache_misses, compress_seconds,
         #: wall_seconds, jobs, and the structural-analysis cache activity
@@ -491,6 +508,20 @@ class Session:
             f"Session(graph={self.graph!r}, seed={self.seed!r}, "
             f"backend={self.backend!r}, cached_baselines={len(self._baselines)})"
         )
+
+    def write_trace(self, path=None, metadata: dict | None = None):
+        """Export the global tracer as Chrome trace-event JSON.
+
+        ``path`` defaults to the path passed as ``Session(trace=…)``.
+        Load the file in ``chrome://tracing`` or https://ui.perfetto.dev;
+        ``python -m repro.obs validate/tree`` checks and pretty-prints it.
+        """
+        target = self.trace_path if path is None else path
+        if target is None:
+            raise ValueError(
+                "no trace path: pass one or construct Session(trace=path)"
+            )
+        return _tracer().write_chrome_trace(target, metadata)
 
     # -- algorithm resolution ---------------------------------------------- #
 
@@ -575,7 +606,8 @@ class Session:
         cached = self._baselines.get(runner.key)
         if cached is None:
             self.baseline_computations += 1
-            cached = _timed(runner.fn, self.graph)
+            with _span("baseline", algorithm=runner.label):
+                cached = _timed(runner.fn, self.graph)
             self._baselines[runner.key] = cached
         return cached
 
@@ -590,17 +622,19 @@ class Session:
         """
         scheme = build_scheme(scheme)
         seed = self.seed if seed is _UNSET else seed
-        if via == "fast":
-            result = scheme.compress(self.graph, seed=seed)
-        elif via == "kernels":
-            result = scheme.compress_via_kernels(
-                self.graph,
-                seed=seed,
-                backend=self.backend,
-                num_chunks=self.num_chunks,
-            )
-        else:
-            raise ValueError(f"via must be 'fast' or 'kernels', got {via!r}")
+        with _span("compress", scheme=_spec_label(scheme), seed=seed, via=via) as sp:
+            if via == "fast":
+                result = scheme.compress(self.graph, seed=seed)
+            elif via == "kernels":
+                result = scheme.compress_via_kernels(
+                    self.graph,
+                    seed=seed,
+                    backend=self.backend,
+                    num_chunks=self.num_chunks,
+                )
+            else:
+                raise ValueError(f"via must be 'fast' or 'kernels', got {via!r}")
+            sp.set(compression_ratio=result.compression_ratio)
         return CompressedRun(self, scheme, result, seed=seed)
 
     # -- battery + sweeps -------------------------------------------------- #
@@ -666,7 +700,14 @@ class Session:
                 )
             from repro.runner.parallel import run_grid
 
-            cells, perf = run_grid(self, built, runners, plans, seed=seed)
+            with _span(
+                "grid",
+                schemes=len(built),
+                algorithms=len(runners),
+                jobs=self.jobs or 1,
+                seed=seed,
+            ):
+                cells, perf = run_grid(self, built, runners, plans, seed=seed)
             self.last_grid_perf = perf
             return SweepTable(cells)
 
@@ -676,7 +717,9 @@ class Session:
         groups = 0
         compress_seconds = 0.0
         analysis_before = analysis_cache().stats()
-        with stopwatch() as wall:
+        with stopwatch() as wall, _span(
+            "grid", schemes=len(built), algorithms=len(runners), jobs=1, seed=seed
+        ):
             for scheme in built:
                 run, elapsed = _timed(self.compress, scheme, seed=seed, via=via)
                 compress_seconds += elapsed
@@ -789,27 +832,30 @@ class Session:
             return []
         ctx = run._context()
         scheme_label = _spec_label(run.scheme)
-        if runner.execute:
-            out0, t0 = self.baseline(runner)
-            out1, t1 = _timed(runner.fn, run.graph)
-        else:
-            out0 = out1 = None
-            t0 = t1 = 0.0
-        arun = _AlgorithmRun(runner, out0, t0, out1, t1)
-        return [
-            GridCell(
-                scheme=scheme_label,
-                algorithm=runner.label,
-                metric=entry.name,
-                value=run._metric_value(entry, arun, ctx),
-                compression_ratio=run.compression_ratio,
-                original_seconds=t0,
-                compressed_seconds=t1,
-                adapter=runner.adapter.name,
-                seed=seed,
-            )
-            for entry in plan
-        ]
+        with _span("algorithm", algorithm=runner.label, scheme=scheme_label) as sp:
+            if runner.execute:
+                out0, t0 = self.baseline(runner)
+                out1, t1 = _timed(runner.fn, run.graph)
+            else:
+                out0 = out1 = None
+                t0 = t1 = 0.0
+            arun = _AlgorithmRun(runner, out0, t0, out1, t1)
+            cells = [
+                GridCell(
+                    scheme=scheme_label,
+                    algorithm=runner.label,
+                    metric=entry.name,
+                    value=run._metric_value(entry, arun, ctx),
+                    compression_ratio=run.compression_ratio,
+                    original_seconds=t0,
+                    compressed_seconds=t1,
+                    adapter=runner.adapter.name,
+                    seed=seed,
+                )
+                for entry in plan
+            ]
+            sp.inc("cells", len(cells))
+        return cells
 
     def sweep(
         self,

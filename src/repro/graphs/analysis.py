@@ -37,12 +37,19 @@ import functools
 import weakref
 from collections import defaultdict
 
+from repro.obs.metrics import counter as _counter
+
 __all__ = [
     "AnalysisCache",
     "analysis_cache",
     "cached_analysis",
     "stats_delta",
 ]
+
+# Process-wide rollups of the per-instance hit/miss dicts below; the
+# canonical names fixing the historical analysis_hits-vs-hits drift.
+_metric_hits = _counter("repro.analysis.hits")
+_metric_misses = _counter("repro.analysis.misses")
 
 
 class AnalysisCache:
@@ -67,8 +74,10 @@ class AnalysisCache:
             return build(graph)
         if name in entry:
             self._hits[name] += 1
+            _metric_hits.inc()
             return entry[name]
         self._misses[name] += 1
+        _metric_misses.inc()
         value = build(graph)
         entry[name] = value
         return value
@@ -90,6 +99,7 @@ class AnalysisCache:
         if entry is None or name not in entry:
             return default
         self._hits[name] += 1
+        _metric_hits.inc()
         return entry[name]
 
     def put(self, graph, name: str, value) -> None:

@@ -1,0 +1,71 @@
+"""End-to-end observability: spans, metrics, and resource sampling.
+
+The instrumentation substrate shared by the session, the sweep runner,
+the compression service, and the stream subsystem:
+
+- :mod:`repro.obs.spans` — hierarchical span tracing with Chrome
+  trace-event export and cross-process stitching;
+- :mod:`repro.obs.metrics` — the process-global registry of counters,
+  gauges, and log-scale histograms under ``repro.<subsystem>.<name>``
+  names, with Prometheus text exposition;
+- :mod:`repro.obs.resources` — peak-RSS / CPU / GC sampling for BENCH
+  records and trace metadata.
+
+``python -m repro.obs validate <trace.json>`` checks an exported trace
+against the checked-in schema; ``… tree <trace.json>`` renders it as a
+text tree.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    counter,
+    gauge,
+    get_metric,
+    histogram,
+    metric_names,
+    prometheus_text,
+    reset_metrics,
+    snapshot,
+)
+from repro.obs.resources import cpu_seconds, peak_rss_bytes, sample_resources
+from repro.obs.spans import (
+    Span,
+    Tracer,
+    current_span_id,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracer,
+    tracing_enabled,
+    tree_from_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "Tracer",
+    "counter",
+    "cpu_seconds",
+    "current_span_id",
+    "disable_tracing",
+    "enable_tracing",
+    "gauge",
+    "get_metric",
+    "histogram",
+    "metric_names",
+    "peak_rss_bytes",
+    "prometheus_text",
+    "reset_metrics",
+    "sample_resources",
+    "snapshot",
+    "span",
+    "tracer",
+    "tracing_enabled",
+    "tree_from_trace",
+    "validate_trace",
+]

@@ -1,0 +1,55 @@
+"""CLI for exported traces: ``validate`` against the schema, ``tree`` view.
+
+Used by the CI ``obs-smoke`` job to gate trace exports::
+
+    python -m repro.obs validate trace.json
+    python -m repro.obs tree trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.spans import tree_from_trace, validate_trace
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate or pretty-print repro Chrome trace exports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="check a trace against the schema")
+    validate.add_argument("trace", help="path to a trace JSON export")
+
+    tree = sub.add_parser("tree", help="render a trace as a text span tree")
+    tree.add_argument("trace", help="path to a trace JSON export")
+
+    args = parser.parse_args(argv)
+    trace = _load(args.trace)
+
+    if args.command == "validate":
+        problems = validate_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        events = trace.get("traceEvents", [])
+        pids = sorted({event.get("pid") for event in events})
+        print(f"OK: {len(events)} events from {len(pids)} process(es) {pids}")
+        return 0
+
+    print(tree_from_trace(trace), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

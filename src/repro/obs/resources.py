@@ -1,0 +1,81 @@
+"""Process resource sampling: peak RSS, CPU time, GC activity.
+
+The ROADMAP's shared-memory item asks BENCH records to prove memory
+wins with peak-RSS and per-worker load-time fields; this module is the
+one place those numbers come from.  Stdlib only: ``resource`` (gated —
+absent on Windows), ``time.process_time``, ``os.times``, ``gc``, and
+``tracemalloc`` when the caller already enabled it.
+
+:func:`sample_resources` is the JSON-safe snapshot embedded in every
+``BENCH_*.json`` (via :func:`repro.runner.harness.write_perf_record`)
+and in exported trace metadata; spans opened with
+``span(..., sample_resources=True)`` attach :func:`peak_rss_bytes` and
+a CPU-time delta at close.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import time
+import tracemalloc
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+__all__ = ["peak_rss_bytes", "cpu_seconds", "sample_resources"]
+
+
+def peak_rss_bytes() -> int:
+    """Lifetime peak resident set size of this process, in bytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux and bytes on
+    macOS; normalized here.  Returns 0 where ``resource`` is missing.
+    """
+    if _resource is None:
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def cpu_seconds() -> float:
+    """Process CPU time (user + system) in seconds."""
+    return time.process_time()
+
+
+def _gc_stats() -> dict:
+    stats = gc.get_stats()
+    return {
+        "collections": sum(s.get("collections", 0) for s in stats),
+        "collected": sum(s.get("collected", 0) for s in stats),
+        "uncollectable": sum(s.get("uncollectable", 0) for s in stats),
+    }
+
+
+def sample_resources() -> dict:
+    """A JSON-safe snapshot of this process's resource usage.
+
+    Always includes ``peak_rss_bytes``, ``cpu_seconds``, split
+    user/system CPU, the pid, and GC totals; ``tracemalloc_*`` fields
+    appear only when tracemalloc is actively tracing (it is never
+    started here — its overhead is the caller's decision).
+    """
+    times = os.times()
+    out = {
+        "pid": os.getpid(),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "cpu_seconds": cpu_seconds(),
+        "cpu_user_seconds": times.user,
+        "cpu_system_seconds": times.system,
+        "gc": _gc_stats(),
+    }
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        out["tracemalloc_current_bytes"] = current
+        out["tracemalloc_peak_bytes"] = peak
+    return out

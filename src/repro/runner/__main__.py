@@ -62,6 +62,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--markdown", action="store_true", help="print the cell table as markdown"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record spans (parent and workers) and write a Chrome "
+        "trace-event JSON export here (open in chrome://tracing or "
+        "https://ui.perfetto.dev; validate with python -m repro.obs)",
+    )
     return parser
 
 
@@ -83,6 +90,11 @@ def main(argv=None) -> int:
         print("error: name a sweep or pass --list", file=sys.stderr)
         return 2
 
+    if args.trace:
+        from repro.obs.spans import enable_tracing
+
+        enable_tracing()
+
     result = run_sweep(
         args.sweep,
         store=args.store,
@@ -91,6 +103,14 @@ def main(argv=None) -> int:
         graphs=args.graphs,
     )
     record_path = write_bench_record(result, args.out)
+
+    if args.trace:
+        from repro.obs.spans import tracer
+
+        trace_path = tracer().write_chrome_trace(
+            args.trace, metadata={"sweep": result.spec.name}
+        )
+        print(f"trace: {trace_path} ({len(tracer())} spans)")
     if args.csv:
         result.table.to_csv(f"{args.out}/{result.spec.name}_cells.csv")
     if args.markdown:

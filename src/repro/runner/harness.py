@@ -36,7 +36,9 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.analytics.grid import SweepTable
-from repro.service.jobs import JobSpec, execute_job
+from repro.obs.resources import sample_resources
+from repro.obs.spans import span
+from repro.service.jobs import JobSpec, execute_job, merge_worker_stats
 from repro.utils.timer import stopwatch
 
 __all__ = [
@@ -163,6 +165,7 @@ def run_sweep(
 
     cells = []
     grids = []
+    workers: dict = {}
     totals = {
         "cells_scheduled": 0,
         "cache_hits": 0,
@@ -171,7 +174,9 @@ def run_sweep(
         "analysis_hits": 0,
         "analysis_misses": 0,
     }
-    with stopwatch() as wall:
+    with stopwatch() as wall, span(
+        "sweep", name=spec.name, graphs=len(spec.graphs), jobs=jobs or 1
+    ):
         for graph_name in spec.graphs:
             job = JobSpec.from_sweep(spec, graph_name)
             result = execute_job(
@@ -181,11 +186,13 @@ def run_sweep(
             grids.extend(result.perf["grids"])
             for key in totals:
                 totals[key] += result.perf.get(key, 0)
+            merge_worker_stats(workers, result.perf.get("workers"))
 
     table = SweepTable(cells)
     algorithm_seconds = sum(
         c.original_seconds + c.compressed_seconds for c in table
     )
+    resources = sample_resources()
     perf = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "jobs": jobs or 1,
@@ -194,6 +201,16 @@ def run_sweep(
         "seeds": list(spec.seeds),
         "cells": len(table),
         **totals,
+        # Canonical registry spellings of the flat totals above — the
+        # legacy keys (analysis_hits vs the cache's own "hits" etc.) stay
+        # as aliases so existing consumers keep working.
+        "metrics": {
+            "repro.runner.cells_scheduled": totals["cells_scheduled"],
+            "repro.runner.cache_hits": totals["cache_hits"],
+            "repro.runner.cache_misses": totals["cache_misses"],
+            "repro.analysis.hits": totals["analysis_hits"],
+            "repro.analysis.misses": totals["analysis_misses"],
+        },
         "algorithm_seconds": algorithm_seconds,
         "seconds_per_cell_group": (
             wall.seconds / totals["cells_scheduled"]
@@ -201,10 +218,19 @@ def run_sweep(
             else 0.0
         ),
         "wall_seconds": wall.seconds,
+        # The parent process's resource sample plus per-worker-process
+        # load time / peak RSS (pid-keyed; empty for in-process sweeps).
+        "resources": resources,
+        "peak_rss_bytes": resources["peak_rss_bytes"],
+        "workers": workers,
         "grids": grids,
     }
     if store is not None:
-        perf["store_stats"] = store.stats.snapshot()
+        store_stats = store.stats.snapshot()
+        perf["store_stats"] = store_stats
+        perf["metrics"].update(
+            {f"repro.store.{k}": v for k, v in store_stats.items()}
+        )
     return SweepResult(spec=spec, table=table, perf=perf)
 
 
@@ -220,6 +246,11 @@ def write_perf_record(name: str, perf: dict, out_dir) -> Path:
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
     record = {"schema_version": BENCH_SCHEMA_VERSION, "sweep": name, **perf}
+    # Every BENCH record carries a resource footprint, sampled at write
+    # time unless the producer already attached one (run_sweep does).
+    if "resources" not in record:
+        record["resources"] = sample_resources()
+    record.setdefault("peak_rss_bytes", record["resources"]["peak_rss_bytes"])
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
 

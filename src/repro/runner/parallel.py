@@ -29,6 +29,7 @@ seed (metric values, ratios, labels; wall times naturally vary).
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -39,6 +40,14 @@ from repro.algorithms.spec import AlgorithmSpec
 from repro.analytics.grid import GridCell
 from repro.graphs.analysis import analysis_cache, stats_delta
 from repro.metrics.registry import resolve_metric
+from repro.obs.resources import peak_rss_bytes
+from repro.obs.spans import (
+    current_span_id,
+    enable_tracing,
+    span,
+    tracer,
+    tracing_enabled,
+)
 from repro.utils.timer import stopwatch, timed_call
 
 __all__ = ["run_grid", "CellTask"]
@@ -75,17 +84,39 @@ class CellTask:
 _WORKER: dict = {}
 
 
-def _init_worker(snapshot_path: str, session_kwargs: dict) -> None:
+def _init_worker(snapshot_path: str, session_kwargs: dict, trace: bool = False) -> None:
     from repro.analytics.session import Session
     from repro.graphs.snapshot import load_snapshot
 
-    graph = load_snapshot(snapshot_path)
+    # Under the fork start method the child inherits the parent tracer's
+    # finished spans; drop them or they would ship back as duplicates.
+    tracer().clear()
+    if trace:
+        # The parent traced this sweep; this worker records its own spans
+        # and ships them back with each cell result (see _worker_cell).
+        enable_tracing()
+    with span("worker.load_snapshot", path=str(snapshot_path)):
+        with stopwatch() as sw:
+            graph = load_snapshot(snapshot_path)
     _WORKER["session"] = Session(graph, **session_kwargs)
     _WORKER["runs"] = {}
+    _WORKER["load_seconds"] = sw.seconds
 
 
 def _worker_cell(task: dict) -> tuple[dict, list[dict], dict]:
-    cells, perf = _compute_cell(_WORKER["session"], _WORKER["runs"], task)
+    with span("worker.cell", scheme=task["scheme"], algorithm=task["algorithm"]):
+        cells, perf = _compute_cell(_WORKER["session"], _WORKER["runs"], task)
+    # Per-worker accounting for BENCH records (always) and the worker's
+    # finished spans (only when tracing) — the parent pops both out of the
+    # perf dict before cells are written to the store, so stored payloads
+    # keep their historical schema.
+    perf["worker"] = {
+        "pid": os.getpid(),
+        "load_seconds": _WORKER.get("load_seconds", 0.0),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    if tracing_enabled():
+        perf["spans"] = tracer().drain()
     return task, cells, perf
 
 
@@ -183,6 +214,9 @@ def run_grid(session, built, runners, plans, *, seed):
             "cache_misses": 0,
             "compress_seconds": 0.0,
             "analysis_cache": {"hits": 0, "misses": 0, "by_analysis": {}},
+            # Per-worker-process accounting (pid-keyed): snapshot load
+            # time, peak RSS, cells computed.  Empty for in-process runs.
+            "workers": {},
         }
         pending: list[CellTask] = []
         for task in tasks:
@@ -203,6 +237,27 @@ def run_grid(session, built, runners, plans, *, seed):
             results[(task.scheme_index, task.runner_index)] = cells
             perf["compress_seconds"] += cell_perf.get("compress_seconds", 0.0)
             _merge_analysis(perf["analysis_cache"], cell_perf.get("analysis"))
+            # Worker-only payloads ride in the perf dict but must not
+            # reach the store: stored cell payloads keep the historical
+            # schema so warm replays stay byte-identical across runs.
+            spans = cell_perf.pop("spans", None)
+            worker = cell_perf.pop("worker", None)
+            if spans:
+                tracer().adopt(spans, parent_id=current_span_id())
+            if worker:
+                slot = perf["workers"].setdefault(
+                    str(worker["pid"]),
+                    {
+                        "pid": worker["pid"],
+                        "load_seconds": worker["load_seconds"],
+                        "peak_rss_bytes": 0,
+                        "cells": 0,
+                    },
+                )
+                slot["cells"] += 1
+                slot["peak_rss_bytes"] = max(
+                    slot["peak_rss_bytes"], worker["peak_rss_bytes"]
+                )
             if store is not None:
                 key = store.cell_key(
                     fingerprint, task.scheme, task.seed, task.algorithm, task.metrics
@@ -260,7 +315,7 @@ def _run_pool(session, store, fingerprint, pending, jobs, harvest) -> None:
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_worker,
-            initargs=(str(snapshot_path), session_kwargs),
+            initargs=(str(snapshot_path), session_kwargs, tracing_enabled()),
         ) as pool:
             futures = [pool.submit(_worker_cell, t.transport()) for t in pending]
             for future in as_completed(futures):

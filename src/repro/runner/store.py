@@ -167,10 +167,20 @@ class StoreStats:
         self._lock = threading.Lock()
 
     def add(self, **deltas: int) -> None:
-        """Atomically bump the named counters (``stats.add(misses=1)``)."""
+        """Atomically bump the named counters (``stats.add(misses=1)``).
+
+        Each bump also feeds the process-global registry under
+        ``repro.store.<name>`` — the instance stays the per-store view,
+        the registry the process rollup ``GET /metrics`` exposes.
+        """
         with self._lock:
             for name, delta in deltas.items():
                 setattr(self, name, getattr(self, name) + delta)
+        from repro.obs.metrics import counter
+
+        for name, delta in deltas.items():
+            if delta:
+                counter(f"repro.store.{name}").inc(delta)
 
     def snapshot(self) -> dict:
         with self._lock:

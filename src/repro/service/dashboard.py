@@ -13,9 +13,47 @@ from __future__ import annotations
 import html
 import time
 
+from repro.obs.metrics import get_metric
 from repro.service.queue import DONE, FAILED, JobQueue, QUEUED, RUNNING
 
 __all__ = ["render_dashboard"]
+
+#: Eight block-element levels for the inline latency sparklines.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(counts: list[int]) -> str:
+    """Bucket counts as a compact block-character strip.
+
+    Trimmed to the occupied bucket range (log-scale histograms span ten
+    decades; most are empty) with one empty bucket of margin each side.
+    """
+    occupied = [i for i, c in enumerate(counts) if c]
+    if not occupied:
+        return ""
+    lo = max(0, occupied[0] - 1)
+    hi = min(len(counts), occupied[-1] + 2)
+    window = counts[lo:hi]
+    peak = max(window)
+    top = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[0 if not c else max(1, round(c / peak * top))] for c in window
+    )
+
+
+def _latency_sparkline(label: str) -> str:
+    """The registry histogram of one latency label as HTML, or a dash.
+
+    Reads the process-global ``repro.service.latency_seconds.<label>``
+    histogram (:mod:`repro.obs.metrics`) — the rollup the Prometheus
+    exposition also serves.
+    """
+    try:
+        metric = get_metric(f"repro.service.latency_seconds.{label}")
+    except KeyError:
+        return "&mdash;"
+    strip = _sparkline(metric.bucket_counts())
+    return html.escape(strip) if strip else "&mdash;"
 
 _REFRESH_SECONDS = 5
 
@@ -59,6 +97,8 @@ td.num, th.num { text-align: right; }
 .state.failed { color: var(--serious); }
 .state.running { color: var(--busy); }
 .err { color: var(--ink-2); font-size: 12px; }
+td.spark { font-family: ui-monospace, monospace; letter-spacing: 1px;
+           color: var(--busy); }
 """
 
 
@@ -142,11 +182,12 @@ def render_dashboard(queue: JobQueue, *, recent: int = 20) -> str:
             f'<td class="num">{entry["mean"]:.3f}s</td>'
             f'<td class="num">{entry["min"]:.3f}s</td>'
             f'<td class="num">{entry["max"]:.3f}s</td>'
+            f'<td class="spark">{_latency_sparkline(label)}</td>'
             "</tr>"
         )
     if not latency_rows:
         latency_rows.append(
-            '<tr><td colspan="5" class="err">no jobs finished yet</td></tr>'
+            '<tr><td colspan="6" class="err">no jobs finished yet</td></tr>'
         )
 
     return f"""<!doctype html>
@@ -173,7 +214,7 @@ auto-refreshes every {_REFRESH_SECONDS}s</p>
 <h2>Latency</h2>
 <table>
 <thead><tr><th>kind</th><th class="num">jobs</th><th class="num">mean</th>
-<th class="num">min</th><th class="num">max</th></tr></thead>
+<th class="num">min</th><th class="num">max</th><th>distribution</th></tr></thead>
 <tbody>{''.join(latency_rows)}</tbody>
 </table>
 

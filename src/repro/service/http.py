@@ -11,7 +11,10 @@ Endpoints (all JSON unless noted):
 ``GET /jobs/<id>/result`` the finished SweepTable — JSON rows + perf, or
                           CSV with ``?format=csv``; 409 while unfinished
 ``GET /metrics``          queue depth, per-state counts, coalesce count,
-                          store hit/miss stats, cold/warm latency histograms
+                          store hit/miss stats, cold/warm latency histograms,
+                          plus the canonical ``repro.*`` registry block;
+                          ``?format=prometheus`` (or ``Accept: text/plain``)
+                          serves Prometheus text exposition instead
 ``GET /healthz``          liveness probe
 ``GET /``                 the server-rendered admin dashboard (HTML)
 ========================  ====================================================
@@ -77,7 +80,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if url.path == "/healthz":
             self._json({"status": "ok"})
         elif url.path == "/metrics":
-            self._json(self.queue.stats())
+            self._metrics(parse_qs(url.query))
         elif url.path in ("/", "/dashboard"):
             from repro.service.dashboard import render_dashboard
 
@@ -94,6 +97,26 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._result(parts[1], parse_qs(url.query))
         else:
             self._error(404, f"no route for {url.path!r}")
+
+    def _metrics(self, query: dict) -> None:
+        """``GET /metrics`` — JSON stats by default, Prometheus text with
+        ``?format=prometheus`` or an ``Accept: text/plain`` header."""
+        fmt = (query.get("format") or [None])[0]
+        accept = self.headers.get("Accept", "")
+        if fmt is None and "text/plain" in accept and "json" not in accept:
+            fmt = "prometheus"
+        if fmt in (None, "json"):
+            self._json(self.queue.stats())
+        elif fmt == "prometheus":
+            from repro.obs.metrics import prometheus_text
+
+            self._send(
+                200,
+                prometheus_text().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            self._error(400, f"unknown format {fmt!r}; use json or prometheus")
 
     def _result(self, job_id: str, query: dict) -> None:
         record = self.queue.get(job_id)

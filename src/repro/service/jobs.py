@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping
 
 from repro.analytics.grid import SweepTable
+from repro.obs.spans import span
 from repro.runner.store import _algorithm_json, _canonical_metrics, _scheme_json
 from repro.utils.timer import stopwatch
 
@@ -42,6 +43,7 @@ __all__ = [
     "JobResult",
     "execute_job",
     "load_job_graph",
+    "merge_worker_stats",
 ]
 
 #: Graph references of this form resolve to a store snapshot instead of a
@@ -262,6 +264,25 @@ class JobResult:
     perf: dict = field(default_factory=dict)
 
 
+def merge_worker_stats(total: dict, delta: dict | None) -> None:
+    """Fold one grid's pid-keyed worker stats into a running total.
+
+    Cells sum; peak RSS takes the max (it is a lifetime high-water mark);
+    the snapshot load time is per-process and kept from first sight.
+    """
+    if not delta:
+        return
+    for pid, stats in delta.items():
+        slot = total.get(pid)
+        if slot is None:
+            total[pid] = dict(stats)
+        else:
+            slot["cells"] += stats.get("cells", 0)
+            slot["peak_rss_bytes"] = max(
+                slot["peak_rss_bytes"], stats.get("peak_rss_bytes", 0)
+            )
+
+
 def load_job_graph(job: JobSpec, *, store=None, graph_loader=None):
     """Resolve a job's graph reference to a :class:`CSRGraph`.
 
@@ -319,6 +340,7 @@ def execute_job(
     )
     cells = []
     grids = []
+    workers: dict = {}
     totals = {
         "cells_scheduled": 0,
         "cache_hits": 0,
@@ -327,7 +349,9 @@ def execute_job(
         "analysis_hits": 0,
         "analysis_misses": 0,
     }
-    with stopwatch() as wall:
+    with stopwatch() as wall, span(
+        "job", graph=job.graph, seeds=len(job.seeds), schemes=len(job.schemes)
+    ):
         for seed in job.seeds:
             table = session.grid(job.schemes, job.algorithms, job.metrics, seed=seed)
             cells.extend(replace(c, graph=job.graph) for c in table)
@@ -343,6 +367,7 @@ def execute_job(
             grid_perf["analysis_misses"] = analysis.get("misses", 0)
             for key in totals:
                 totals[key] += grid_perf.get(key, 0)
+            merge_worker_stats(workers, grid_perf.get("workers"))
             grids.append({"graph": job.graph, "seed": seed, **grid_perf})
     table = SweepTable(cells)
     perf = {
@@ -351,6 +376,7 @@ def execute_job(
         "seeds": list(job.seeds),
         "cells": len(table),
         **totals,
+        "workers": workers,
         "wall_seconds": wall.seconds,
         "grids": grids,
     }

@@ -29,10 +29,22 @@ import threading
 import time
 from typing import Mapping
 
+from repro.obs.metrics import counter, gauge, histogram, snapshot as metrics_snapshot
+from repro.obs.spans import span
 from repro.service.jobs import JobResult, JobSpec, execute_job
 from repro.utils.timer import Timer, stopwatch
 
 __all__ = ["JobQueue", "JobRecord", "QUEUED", "RUNNING", "DONE", "FAILED", "STATES"]
+
+# Process-wide rollups of queue activity; the per-instance Timer stays
+# the queue-local view the legacy JSON keys report.
+_jobs_submitted = counter("repro.service.jobs_submitted")
+_jobs_coalesced = counter("repro.service.jobs_coalesced")
+_queue_depth = gauge("repro.service.queue_depth")
+_latency = {
+    label: histogram(f"repro.service.latency_seconds.{label}")
+    for label in ("cold", "warm", "failed")
+}
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -182,10 +194,13 @@ class JobQueue:
             record = self._inflight.get(spec.job_key)
             if record is not None:
                 record.coalesced += 1
+                _jobs_coalesced.inc()
                 return record
             record = JobRecord(f"j{next(self._ids)}-{spec.job_key[:10]}", spec)
             self._inflight[record.key] = record
             self._records[record.id] = record
+        _jobs_submitted.inc()
+        _queue_depth.inc()
         self._tasks.put(record)
         return record
 
@@ -217,8 +232,11 @@ class JobQueue:
                 return
             record.state = RUNNING
             record.started_at = time.time()
+        _queue_depth.inc(-1)
         try:
-            with stopwatch() as sw:
+            with stopwatch() as sw, span(
+                "service.job", job_id=record.id, graph=record.spec.graph
+            ):
                 result = self._execute(
                     record.spec,
                     store=self.store,
@@ -235,6 +253,7 @@ class JobQueue:
                 # coalescing onto the corpse.
                 self._inflight.pop(record.key, None)
             self.timer.add_sample("failed", sw.seconds)
+            _latency["failed"].observe(sw.seconds)
         else:
             warm = result.perf.get("cache_misses", 0) == 0
             with self._lock:
@@ -246,14 +265,23 @@ class JobQueue:
                 # Done work is served by the store from here on; the
                 # dedupe map only ever holds in-flight keys.
                 self._inflight.pop(record.key, None)
-            self.timer.add_sample("warm" if warm else "cold", sw.seconds)
+            label = "warm" if warm else "cold"
+            self.timer.add_sample(label, sw.seconds)
+            _latency[label].observe(sw.seconds)
         finally:
             record._event.set()
 
     # -- observability ------------------------------------------------------ #
 
     def stats(self) -> dict:
-        """Queue/store/latency counters (the ``GET /metrics`` payload)."""
+        """Queue/store/latency counters (the ``GET /metrics`` payload).
+
+        The flat legacy keys (``workers``, ``jobs_total``, ``store``,
+        ``latency`` …) are kept as back-compat aliases; the ``metrics``
+        block is the canonical ``repro.<subsystem>.<name>`` view straight
+        from the process-global registry (:mod:`repro.obs.metrics`) — the
+        same data ``?format=prometheus`` serializes.
+        """
         with self._lock:
             states = dict.fromkeys(STATES, 0)
             coalesced = 0
@@ -271,6 +299,7 @@ class JobQueue:
                 label: _latency_summary(self.timer.samples(label))
                 for label in self.timer.labels()
             },
+            "metrics": metrics_snapshot(),
         }
         if self.store is not None:
             out["store"] = self.store.stats.snapshot()
@@ -298,6 +327,7 @@ class JobQueue:
                         record.finished_at = time.time()
                         self._inflight.pop(record.key, None)
                         record._event.set()
+                        _queue_depth.inc(-1)
         for _ in self._threads:
             self._tasks.put(None)
         for thread in self._threads:

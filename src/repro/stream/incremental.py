@@ -67,8 +67,11 @@ from repro.compress.spanner import Spanner
 from repro.compress.triangle_reduction import TriangleReduction
 from repro.compress.vertex_filters import LowDegreeVertexRemoval
 from repro.graphs.csr import CSRGraph
+from repro.obs.metrics import counter, histogram
+from repro.obs.spans import span
 from repro.stream.delta import EdgeDelta
 from repro.utils.rng import as_generator
+from repro.utils.timer import stopwatch
 
 __all__ = [
     "IncrementalMaintainer",
@@ -215,12 +218,21 @@ class IncrementalMaintainer:
             raise RuntimeError("attach() a base generation before update()")
         old = self._graph
         churn = delta.size / max(old.num_edges, 1)
-        if churn > self.churn_threshold or self._needs_rebuild(old):
-            self._rebuild(new_graph)
-            self.stats["full_rebuilds"] += 1
-        else:
-            self._repair(old, delta, new_graph)
-            self.stats["repairs"] += 1
+        rebuild = churn > self.churn_threshold or self._needs_rebuild(old)
+        mode = "rebuild" if rebuild else "repair"
+        with span(
+            "stream.update", scheme=self.scheme_name, mode=mode, delta=delta.size
+        ), stopwatch() as sw:
+            if rebuild:
+                self._rebuild(new_graph)
+                self.stats["full_rebuilds"] += 1
+            else:
+                self._repair(old, delta, new_graph)
+                self.stats["repairs"] += 1
+        # The repair-vs-rebuild cost split, rolled up process-wide: the
+        # stream benchmarks' headline claim as live histograms.
+        counter(f"repro.stream.{'full_rebuilds' if rebuild else 'repairs'}").inc()
+        histogram(f"repro.stream.{mode}_seconds").observe(sw.seconds)
         self._graph = new_graph
         return self._compressed
 

@@ -37,6 +37,8 @@ import numpy as np
 
 from repro.algorithms.triangles import edge_ids_of_pairs
 from repro.graphs.csr import CSRGraph
+from repro.obs.metrics import counter, histogram
+from repro.obs.spans import span
 from repro.runner.fingerprint import graph_fingerprint
 from repro.stream.delta import EdgeDelta
 
@@ -198,8 +200,11 @@ class GraphStream:
         """Apply one batch; returns (and makes head) the new generation."""
         parent = self._records[-1]
         start = time.perf_counter()
-        g = apply_delta(self._head, delta)
+        with span("stream.apply", generation=parent.index + 1, delta=delta.size):
+            g = apply_delta(self._head, delta)
         elapsed = time.perf_counter() - start
+        counter("repro.stream.deltas_applied").inc()
+        histogram("repro.stream.apply_seconds").observe(elapsed)
         self._head = g
         self._records.append(
             GenerationRecord(

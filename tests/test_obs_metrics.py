@@ -1,0 +1,187 @@
+"""Tests for repro.obs.metrics: registry semantics and Prometheus text."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    counter,
+    gauge,
+    get_metric,
+    histogram,
+    metric_names,
+    prometheus_text,
+    reset_metrics,
+    snapshot,
+)
+
+
+@pytest.fixture(autouse=True)
+def zeroed_registry():
+    """Zero the process-global registry around every test.
+
+    The registry is intentionally process-global (modules cache metric
+    objects at import time), so tests reset values in place rather than
+    swapping the dict out.
+    """
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        c = counter("repro.test.hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_idempotent_registration(self):
+        assert counter("repro.test.hits") is counter("repro.test.hits")
+
+    def test_monotonic(self):
+        with pytest.raises(ValueError):
+            counter("repro.test.hits").inc(-1)
+
+    def test_kind_collision_rejected(self):
+        counter("repro.test.collide")
+        with pytest.raises(ValueError, match="already registered"):
+            gauge("repro.test.collide")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        g = gauge("repro.test.depth")
+        g.set(3)
+        g.inc()
+        g.inc(-2)
+        assert g.value == 2
+
+
+class TestHistograms:
+    def test_bucketing_and_stats(self):
+        h = histogram("repro.test.latency_seconds")
+        for v in (0.001, 0.01, 0.01, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(5.021)
+        assert h.mean == pytest.approx(5.021 / 4)
+        assert sum(h.bucket_counts()) == 4
+        data = h.to_dict()
+        assert data["min"] == 0.001 and data["max"] == 5.0
+        assert len(data["counts"]) == len(data["bounds"]) + 1
+
+    def test_log_scale_default_bounds(self):
+        # Three buckets per decade, 1e-7 .. 1e3.
+        assert DEFAULT_BUCKET_BOUNDS[0] == pytest.approx(1e-7)
+        assert DEFAULT_BUCKET_BOUNDS[-1] == pytest.approx(1e3)
+        ratios = [
+            b / a for a, b in zip(DEFAULT_BUCKET_BOUNDS, DEFAULT_BUCKET_BOUNDS[1:])
+        ]
+        assert all(r == pytest.approx(10 ** (1 / 3)) for r in ratios)
+
+    def test_overflow_bucket(self):
+        h = histogram("repro.test.overflow", bounds=(1.0, 10.0))
+        h.observe(100.0)
+        assert h.bucket_counts() == [0, 0, 1]
+
+    def test_custom_bounds_sorted_and_validated(self):
+        h = histogram("repro.test.custom", bounds=(10.0, 1.0))
+        assert h.bounds == (1.0, 10.0)
+        with pytest.raises(ValueError):
+            Histogram("repro.test.empty", bounds=())
+
+    def test_empty_histogram_to_dict(self):
+        data = histogram("repro.test.idle").to_dict()
+        assert data["count"] == 0 and data["min"] == 0.0 and data["max"] == 0.0
+
+
+class TestRegistry:
+    def test_name_validation(self):
+        for bad in ("hits", "repro", "repro.", "repro.Upper.x", "other.store.hits"):
+            with pytest.raises(ValueError, match="must match"):
+                counter(bad)
+
+    def test_get_metric_names_known_set(self):
+        counter("repro.test.known")
+        assert get_metric("repro.test.known").value == 0
+        with pytest.raises(KeyError, match="repro.test.known"):
+            get_metric("repro.test.unknown")
+
+    def test_snapshot_shape(self):
+        counter("repro.test.c").inc(2)
+        gauge("repro.test.g").set(1.5)
+        histogram("repro.test.h").observe(0.1)
+        snap = snapshot()
+        assert snap["repro.test.c"] == {"kind": "counter", "value": 2}
+        assert snap["repro.test.g"] == {"kind": "gauge", "value": 1.5}
+        assert snap["repro.test.h"]["kind"] == "histogram"
+        assert "repro.test.c" in metric_names()
+
+    def test_reset_in_place(self):
+        # Modules cache metric objects; reset must zero the live object.
+        c = counter("repro.test.cached")
+        c.inc(9)
+        reset_metrics()
+        assert c.value == 0
+        assert get_metric("repro.test.cached") is c
+
+    def test_thread_safety(self):
+        c = counter("repro.test.contended")
+        h = histogram("repro.test.contended_h")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+                h.observe(0.01)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+        assert h.count == 8000
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        counter("repro.test.prom_hits").inc(3)
+        gauge("repro.test.prom_depth").set(2.5)
+        text = prometheus_text()
+        assert "# TYPE repro_test_prom_hits counter" in text
+        assert "repro_test_prom_hits 3" in text
+        assert "# TYPE repro_test_prom_depth gauge" in text
+        assert "repro_test_prom_depth 2.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        h = histogram("repro.test.prom_lat", bounds=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 100.0):
+            h.observe(v)
+        text = prometheus_text()
+        lines = [ln for ln in text.splitlines() if "repro_test_prom_lat" in ln]
+        assert "# TYPE repro_test_prom_lat histogram" in lines
+        assert 'repro_test_prom_lat_bucket{le="0.1"} 1' in lines
+        assert 'repro_test_prom_lat_bucket{le="1.0"} 3' in lines
+        assert 'repro_test_prom_lat_bucket{le="10.0"} 3' in lines
+        assert 'repro_test_prom_lat_bucket{le="+Inf"} 4' in lines
+        assert "repro_test_prom_lat_count 4" in lines
+        sums = [ln for ln in lines if ln.startswith("repro_test_prom_lat_sum ")]
+        assert len(sums) == 1
+        assert float(sums[0].split()[-1]) == pytest.approx(101.05)
+
+    def test_exposition_parses_as_floats(self):
+        # Every sample line must be "<name>[{labels}] <number>".
+        counter("repro.test.parse").inc()
+        histogram("repro.test.parse_h").observe(1e-9)
+        for line in prometheus_text().splitlines():
+            if line.startswith("#"):
+                continue
+            value = line.rsplit(" ", 1)[1]
+            assert value == "+Inf" or not math.isnan(float(value))

@@ -1,0 +1,70 @@
+"""Tests for repro.obs.resources: RSS/CPU/GC sampling (stdlib only)."""
+
+import os
+import sys
+
+from repro.obs.resources import cpu_seconds, peak_rss_bytes, sample_resources
+
+
+class TestPeakRSS:
+    def test_positive_and_plausible_on_posix(self):
+        rss = peak_rss_bytes()
+        if sys.platform == "win32":
+            assert rss == 0
+            return
+        # A running CPython interpreter holds at least a few MiB and
+        # (well) under a TiB — catches unit errors (KiB vs bytes) both ways.
+        assert 1_000_000 < rss < 1_000_000_000_000
+
+    def test_monotone_nondecreasing(self):
+        before = peak_rss_bytes()
+        ballast = [bytes(1024) for _ in range(1000)]
+        after = peak_rss_bytes()
+        del ballast
+        assert after >= before
+
+
+class TestCPUSeconds:
+    def test_accumulates(self):
+        start = cpu_seconds()
+        acc = 0
+        for i in range(200_000):
+            acc += i
+        assert cpu_seconds() >= start
+        assert acc > 0
+
+
+class TestSampleResources:
+    def test_shape(self):
+        sample = sample_resources()
+        assert sample["pid"] == os.getpid()
+        for key in (
+            "peak_rss_bytes",
+            "cpu_seconds",
+            "cpu_user_seconds",
+            "cpu_system_seconds",
+        ):
+            assert key in sample
+            assert sample[key] >= 0
+        gc_stats = sample["gc"]
+        assert set(gc_stats) >= {"collections", "collected", "uncollectable"}
+
+    def test_json_safe(self):
+        import json
+
+        json.dumps(sample_resources())
+
+    def test_tracemalloc_fields_only_when_tracing(self):
+        import tracemalloc
+
+        if tracemalloc.is_tracing():  # some harnesses trace globally
+            assert "tracemalloc_current_bytes" in sample_resources()
+            return
+        assert "tracemalloc_current_bytes" not in sample_resources()
+        tracemalloc.start()
+        try:
+            sample = sample_resources()
+            assert sample["tracemalloc_current_bytes"] >= 0
+            assert sample["tracemalloc_peak_bytes"] >= 0
+        finally:
+            tracemalloc.stop()

@@ -1,0 +1,269 @@
+"""Tests for repro.obs.spans: nesting, failure paths, concurrency, export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    Span,
+    Tracer,
+    current_span_id,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracer,
+    tracing_enabled,
+    tree_from_trace,
+    validate_trace,
+)
+
+
+@pytest.fixture()
+def clean_tracer():
+    """The global tracer, enabled and empty; restored afterwards."""
+    t = tracer()
+    t.clear()
+    enable_tracing()
+    yield t
+    disable_tracing()
+    t.clear()
+
+
+class TestSpanBasics:
+    def test_nesting_parent_child(self, clean_tracer):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert current_span_id() == inner.span_id
+            assert current_span_id() == outer.span_id
+        assert current_span_id() is None
+        spans = clean_tracer.export()
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+
+    def test_attrs_and_counters(self, clean_tracer):
+        with span("work", scheme="spanner(k=4)") as sp:
+            sp.set(cells=8)
+            sp.inc("hits")
+            sp.inc("hits", 2)
+        [record] = clean_tracer.export()
+        assert record["attrs"] == {"scheme": "spanner(k=4)", "cells": 8}
+        assert record["counters"] == {"hits": 3}
+        assert record["status"] == "ok"
+        assert record["duration"] >= 0.0
+
+    def test_name_attr_does_not_collide(self, clean_tracer):
+        # The span's own name is positional-only, so "name" is usable as
+        # an attribute key (run_sweep tags its span with name=<sweep>).
+        with span("sweep", name="smoke"):
+            pass
+        [record] = clean_tracer.export()
+        assert record["name"] == "sweep"
+        assert record["attrs"] == {"name": "smoke"}
+
+    def test_disabled_is_noop(self):
+        t = tracer()
+        t.clear()
+        disable_tracing()
+        assert not tracing_enabled()
+        with span("ignored") as sp:
+            # The null span accepts the full Span surface.
+            assert sp.set(x=1) is sp
+            assert sp.inc("n") is sp
+            assert sp.span_id is None
+        assert len(t) == 0
+
+    def test_unique_ids_carry_pid(self, clean_tracer):
+        import os
+
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        ids = [s["span_id"] for s in clean_tracer.export()]
+        assert len(set(ids)) == 2
+        prefix = f"{os.getpid():x}."
+        assert all(i.startswith(prefix) for i in ids)
+
+
+class TestSpanFailure:
+    def test_exception_marks_error_but_closes(self, clean_tracer):
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        [record] = clean_tracer.export()
+        assert record["status"] == "error"
+        assert record["error"] == "RuntimeError: boom"
+        assert record["duration"] >= 0.0
+        # The stack unwound: new spans are roots, not children of the dead one.
+        assert current_span_id() is None
+
+    def test_parent_survives_child_failure(self, clean_tracer):
+        with span("parent") as parent:
+            with pytest.raises(ValueError):
+                with span("child"):
+                    raise ValueError("inner")
+            assert current_span_id() == parent.span_id
+        by_name = {s["name"]: s for s in clean_tracer.export()}
+        assert by_name["parent"]["status"] == "ok"
+        assert by_name["child"]["status"] == "error"
+        assert by_name["child"]["parent_id"] == by_name["parent"]["span_id"]
+
+    def test_close_is_idempotent_surface(self):
+        sp = Span("direct")
+        record = sp.close()
+        assert record["status"] == "ok"
+        assert record["name"] == "direct"
+
+
+class TestSpanConcurrency:
+    def test_threads_never_interleave_parents(self, clean_tracer):
+        """N threads nest concurrently; every child's parent is its own
+        thread's outer span, never another thread's."""
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+
+        def work(k: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                with span("outer", thread_no=k):
+                    with span("inner", thread_no=k, i=i):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(k,)) for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        spans = clean_tracer.export()
+        assert len(spans) == n_threads * per_thread * 2
+        outers = {
+            s["span_id"]: s["attrs"]["thread_no"]
+            for s in spans
+            if s["name"] == "outer"
+        }
+        for s in spans:
+            if s["name"] != "inner":
+                continue
+            assert s["parent_id"] in outers
+            assert outers[s["parent_id"]] == s["attrs"]["thread_no"]
+
+    def test_dedicated_tracer_isolated_from_global(self):
+        own = Tracer(enabled=True)
+        with own.span("private"):
+            pass
+        assert len(own) == 1
+        assert len(tracer()) == 0
+
+
+class TestStitching:
+    def test_adopt_reparents_foreign_roots(self, clean_tracer):
+        worker = Tracer(enabled=True)
+        with worker.span("worker.cell"):
+            with worker.span("compress"):
+                pass
+        shipped = worker.drain()
+        assert len(worker) == 0
+
+        with span("grid") as grid:
+            adopted = clean_tracer.adopt(shipped, parent_id=grid.span_id)
+        assert adopted == 2
+        by_name = {s["name"]: s for s in clean_tracer.export()}
+        # The worker's root hangs off the grid span; internal links survive.
+        assert by_name["worker.cell"]["parent_id"] == by_name["grid"]["span_id"]
+        assert (
+            by_name["compress"]["parent_id"] == by_name["worker.cell"]["span_id"]
+        )
+
+    def test_adopt_without_parent_makes_roots(self, clean_tracer):
+        worker = Tracer(enabled=True)
+        with worker.span("solo"):
+            pass
+        clean_tracer.adopt(worker.drain())
+        [record] = clean_tracer.export()
+        assert record["parent_id"] is None
+
+    def test_drain_then_adopt_preserves_order(self, clean_tracer):
+        worker = Tracer(enabled=True)
+        for i in range(5):
+            with worker.span(f"s{i}"):
+                pass
+        clean_tracer.adopt(worker.drain())
+        assert [s["name"] for s in clean_tracer.export()] == [
+            f"s{i}" for i in range(5)
+        ]
+
+
+class TestExport:
+    def test_chrome_trace_is_schema_valid(self, clean_tracer, tmp_path):
+        with span("outer", scheme="uniform(p=0.5)"):
+            with span("inner"):
+                pass
+        with pytest.raises(KeyError):
+            with span("failed"):
+                raise KeyError("x")
+        path = clean_tracer.write_chrome_trace(
+            tmp_path / "trace.json", metadata={"sweep": "test"}
+        )
+        trace = json.loads(path.read_text())
+        assert validate_trace(trace) == []
+        assert trace["metadata"]["sweep"] == "test"
+        assert trace["metadata"]["schema_version"] == 1
+        statuses = {e["args"]["status"] for e in trace["traceEvents"]}
+        assert statuses == {"ok", "error"}
+        # Events are wall-clock sorted and microsecond scaled.
+        stamps = [e["ts"] for e in trace["traceEvents"]]
+        assert stamps == sorted(stamps)
+
+    def test_validator_catches_broken_traces(self, clean_tracer):
+        with span("a"):
+            pass
+        trace = clean_tracer.chrome_trace()
+        assert validate_trace(trace) == []
+
+        broken = json.loads(json.dumps(trace))
+        broken["traceEvents"][0]["args"]["parent_id"] = "no.such"
+        assert any("resolves to no span" in p for p in validate_trace(broken))
+
+        broken = json.loads(json.dumps(trace))
+        broken["traceEvents"][0]["ph"] = "B"
+        assert any("!= 'X'" in p for p in validate_trace(broken))
+
+        broken = json.loads(json.dumps(trace))
+        del broken["metadata"]["main_pid"]
+        assert any("main_pid" in p for p in validate_trace(broken))
+
+        assert validate_trace([]) != []
+        assert any(
+            "non-empty" in p
+            for p in validate_trace({"traceEvents": [], "metadata": {}})
+        )
+
+    def test_format_tree_and_round_trip(self, clean_tracer):
+        with span("sweep", sweep="smoke"):
+            with span("grid"):
+                pass
+        rendered = clean_tracer.format_tree()
+        assert rendered.splitlines()[0].startswith("sweep")
+        assert rendered.splitlines()[1].startswith("  grid")
+        # Re-rendering from the exported trace gives the same structure.
+        again = tree_from_trace(clean_tracer.chrome_trace())
+        assert [ln.split()[0] for ln in again.splitlines()] == [
+            ln.split()[0] for ln in rendered.splitlines()
+        ]
+
+    def test_empty_tree(self):
+        t = Tracer()
+        assert t.format_tree() == "(no spans recorded)"
+
+    def test_error_marker_in_tree(self, clean_tracer):
+        with pytest.raises(RuntimeError):
+            with span("bad"):
+                raise RuntimeError("x")
+        assert "!ERR" in clean_tracer.format_tree()
