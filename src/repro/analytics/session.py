@@ -470,6 +470,7 @@ class Session:
         pr_iterations: int = 100,
         store=None,
         jobs: int | None = None,
+        retry=None,
         trace=None,
     ):
         self.graph = graph
@@ -484,6 +485,15 @@ class Session:
             store = ArtifactStore(store)
         self.store = store
         self.jobs = jobs
+        #: Retry/backoff/timeout policy for grid execution — a
+        #: :class:`repro.runner.parallel.RetryPolicy`, a dict of its
+        #: fields, or None for the defaults (3 attempts, capped
+        #: exponential backoff, no per-task timeout).
+        if retry is not None:
+            from repro.runner.parallel import RetryPolicy
+
+            retry = RetryPolicy.of(retry)
+        self.retry = retry
         #: Default export path for :meth:`write_trace` (None = must be
         #: passed explicitly).  Tracing itself is process-global.
         self.trace_path = None

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and chaos scenarios.
+
+See :mod:`repro.faults.plan` for the injection machinery,
+:mod:`repro.faults.scenarios` for the named chaos scenarios, and
+``python -m repro.faults`` for the chaos CLI that runs a scenario
+against a sweep and asserts clean-vs-faulted result equality.
+"""
+
+from repro.faults.plan import (
+    ENV_VAR,
+    MODES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    clear_plan,
+    fault_point,
+    injected_faults,
+    install_plan,
+    reset_fault_state,
+    site_calls,
+)
+from repro.faults.scenarios import SCENARIOS, available_scenarios, build_scenario
+
+__all__ = [
+    "ENV_VAR",
+    "MODES",
+    "SCENARIOS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "available_scenarios",
+    "build_scenario",
+    "clear_plan",
+    "fault_point",
+    "injected_faults",
+    "install_plan",
+    "reset_fault_state",
+    "site_calls",
+]

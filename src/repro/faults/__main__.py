@@ -1,0 +1,185 @@
+"""``python -m repro.faults`` — the chaos CLI.
+
+Runs a named fault scenario (:mod:`repro.faults.scenarios`) against a
+real store-backed parallel sweep and asserts the fault-tolerance
+contract: the faulted run must finish *and* produce cells
+value-identical to a clean run (wall-clock fields excluded, exactly the
+comparison the test suite uses).
+
+Examples::
+
+    python -m repro.faults list
+    python -m repro.faults run chaos-smoke --jobs 3 --seed 7
+    python -m repro.faults run worker-kill --graph s-flx --report chaos.json
+
+Exit status is 0 when the faulted sweep completed with identical values,
+1 otherwise — CI's ``chaos-smoke`` job is exactly ``run chaos-smoke``
+plus the report artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.faults.plan import clear_plan, install_plan, reset_fault_state
+from repro.faults.scenarios import SCENARIOS, available_scenarios, build_scenario
+
+SCHEMES = ["uniform(p=0.5)", "spanner(k=4)"]
+ALGORITHMS = ["pr", "cc"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Chaos-test sweep execution: inject a deterministic "
+        "fault scenario and assert the run still produces clean-identical "
+        "results.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available scenarios")
+    run = sub.add_parser("run", help="run one scenario and verify recovery")
+    run.add_argument("scenario", choices=available_scenarios())
+    run.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="scenario seed — moves *where* the faults land (default 0)",
+    )
+    run.add_argument(
+        "--graph", default="s-flx", metavar="NAME",
+        help="dataset to sweep (repro.graphs.datasets name, default s-flx)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=3, metavar="N",
+        help="worker processes for the sweep (default 3)",
+    )
+    run.add_argument(
+        "--max-attempts", type=int, default=4, metavar="N",
+        help="retry budget per task / store write (default 4)",
+    )
+    run.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task timeout (needed for 'hang' faults; default off)",
+    )
+    run.add_argument(
+        "--report", metavar="PATH",
+        help="write a JSON report (verdict, fault + retry accounting)",
+    )
+    return parser
+
+
+def _comparable(table) -> list[tuple]:
+    """The deterministic face of a sweep (drop wall-clock noise)."""
+    return sorted(
+        (c.scheme, c.algorithm, c.metric, c.value, c.compression_ratio, c.seed)
+        for c in table
+    )
+
+
+def _sweep(graph, store_dir: Path, args) -> tuple[list[tuple], dict]:
+    from repro.analytics.session import Session
+
+    session = Session(
+        graph,
+        seed=0,
+        store=str(store_dir),
+        jobs=args.jobs,
+        retry={
+            "max_attempts": args.max_attempts,
+            "backoff_base": 0.01,
+            "task_timeout": args.task_timeout,
+        },
+    )
+    # Default metric plans: each algorithm scores its natural metrics.
+    table = session.grid(schemes=SCHEMES, algorithms=ALGORITHMS)
+    return _comparable(table), session.last_grid_perf
+
+
+def _run(args) -> int:
+    from repro.graphs.datasets import load
+    from repro.obs.metrics import snapshot
+
+    graph = load(args.graph, seed=0)
+    print(
+        f"chaos run: scenario={args.scenario} seed={args.seed} "
+        f"graph={args.graph} jobs={args.jobs}"
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        root = Path(tmp)
+        reset_fault_state()
+        clean, clean_perf = _sweep(graph, root / "clean-store", args)
+        print(
+            f"clean run: {len(clean)} cells in {clean_perf['wall_seconds']:.2f}s"
+        )
+
+        plan = build_scenario(
+            args.scenario, seed=args.seed, token_dir=str(root / "tokens")
+        )
+        for spec in plan.faults:
+            print(
+                f"  fault: {spec.mode} at {spec.site} "
+                f"(start={spec.start}, times={spec.times})"
+            )
+        install_plan(plan)
+        try:
+            faulted, faulted_perf = _sweep(graph, root / "faulted-store", args)
+        finally:
+            clear_plan()
+            reset_fault_state()
+
+    equal = clean == faulted
+    print(
+        f"faulted run: {len(faulted)} cells in "
+        f"{faulted_perf['wall_seconds']:.2f}s — retries={faulted_perf['retries']} "
+        f"pool_rebuilds={faulted_perf['pool_rebuilds']} "
+        f"failed_cells={len(faulted_perf['failed_cells'])} "
+        f"store_write_retries={faulted_perf['store_write_retries']}"
+    )
+    metrics = {
+        name: value
+        for name, value in snapshot().items()
+        if name.startswith("repro.faults.") or name.startswith("repro.runner.")
+    }
+    if args.report:
+        report = {
+            "scenario": args.scenario,
+            "seed": args.seed,
+            "graph": args.graph,
+            "jobs": args.jobs,
+            "equal": equal,
+            "cells": len(faulted),
+            "plan": json.loads(plan.to_json()),
+            "clean_perf": clean_perf,
+            "faulted_perf": faulted_perf,
+            "metrics": metrics,
+        }
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report: {path}")
+    if equal:
+        print("VERDICT: PASS — faulted sweep is value-identical to clean run")
+        return 0
+    print("VERDICT: FAIL — faulted sweep diverged from the clean run")
+    for row in sorted(set(clean) - set(faulted))[:10]:
+        print(f"  missing/changed: {row}")
+    for row in sorted(set(faulted) - set(clean))[:10]:
+        print(f"  unexpected:      {row}")
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        for name in available_scenarios():
+            doc = (SCENARIOS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:16s} {doc}")
+        return 0
+    return _run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

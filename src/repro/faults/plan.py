@@ -1,0 +1,370 @@
+"""Deterministic, process-global fault injection.
+
+Long sweeps die in ways unit tests never exercise: a worker OOM-killed
+mid-cell, a disk filling up during a store write, a power loss between
+``write`` and ``rename``.  This module makes those failures *schedulable*
+so the recovery paths around them can be tested for correctness — a
+sweep that rides through injected faults must produce cells
+value-identical to a clean run (the chaos CLI in
+:mod:`repro.faults.__main__` asserts exactly that).
+
+The model: production code declares **sites** by calling
+:func:`fault_point("runner.worker_cell") <fault_point>` at the places
+where real systems fail.  With no plan installed the call is a counter
+bump short-circuited to ``None`` — the hot path costs one dict lookup.
+A :class:`FaultPlan` maps sites to :class:`FaultSpec` schedules, each
+with one of four modes:
+
+``raise``
+    raise :class:`InjectedFault` at the site (a transient error — the
+    stand-in for flaky disks, OOM of a child allocation, network blips);
+``hang``
+    sleep ``delay`` seconds at the site (trips per-task timeouts);
+``kill``
+    ``SIGKILL`` the calling process (a worker crash — the parent sees
+    ``BrokenProcessPool``);
+``torn_write``
+    returned to the caller instead of acted on; only file-writing sites
+    (:func:`repro.utils.fileio.atomic_write`) honor it by truncating the
+    payload mid-write and surfacing the torn file, simulating a power
+    loss before fsync.
+
+Determinism and scope: a spec fires on invocations ``start, start+1, …``
+of its site, at most ``times`` times.  With a ``token_dir`` the budget is
+shared **across processes** through exclusive-create token files — "kill
+one worker, once, wherever it lands" — which is what lets a plan built
+from a seed replay the same failure schedule run after run.  Plans
+propagate to pool workers through the ``REPRO_FAULTS`` environment
+variable (JSON), inherited by fork and spawn alike.
+
+Every trigger bumps ``repro.faults.injected`` plus a per-mode counter in
+the process-global registry (:mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "ENV_VAR",
+    "MODES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan",
+    "fault_point",
+    "injected_faults",
+    "install_plan",
+    "reset_fault_state",
+    "site_calls",
+]
+
+#: Environment variable carrying the active plan's JSON to worker
+#: processes (set by :func:`install_plan`, cleared by :func:`clear_plan`).
+ENV_VAR = "REPRO_FAULTS"
+
+MODES = ("raise", "hang", "kill", "torn_write")
+
+
+class InjectedFault(RuntimeError):
+    """A failure raised by fault injection (never by real breakage).
+
+    Recovery code treats it like any other exception — that is the point
+    — but tests and failure manifests can tell injected faults from
+    genuine bugs by type/name.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled failure: which site, how, and when.
+
+    ``start`` skips the first ``start`` invocations of the site,
+    ``times`` caps how often the spec fires.  Both are measured across
+    *all* processes when the plan has a ``token_dir`` (each invocation
+    claims a globally unique index; each firing a token), per process
+    otherwise.
+    """
+
+    site: str
+    mode: str = "raise"
+    times: int = 1
+    start: int = 0
+    delay: float = 30.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site or not isinstance(self.site, str):
+            raise ValueError(f"fault site must be a non-empty string, got {self.site!r}")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; known: {MODES}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "mode": self.mode,
+            "times": self.times,
+            "start": self.start,
+            "delay": self.delay,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        known = {"site", "mode", "times", "start", "delay", "message"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown fault fields {unknown}; known: {sorted(known)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of fault specs plus the state they share.
+
+    ``seed`` records how the schedule was derived (scenario builders fold
+    it into ``start`` offsets); ``token_dir`` — a directory, created on
+    first claim — makes ``times`` budgets global across processes.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    token_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def sites(self) -> list[str]:
+        return sorted({spec.site for spec in self.faults})
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "token_dir": self.token_dir,
+                "faults": [spec.to_dict() for spec in self.faults],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls(
+            faults=tuple(FaultSpec.from_dict(d) for d in data.get("faults", ())),
+            seed=data.get("seed", 0),
+            token_dir=data.get("token_dir"),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# process-global state
+# ---------------------------------------------------------------------- #
+
+_LOCK = threading.Lock()
+_PLAN: FaultPlan | None = None
+#: Per-site invocation counts in this process (also useful to tests as
+#: "did the site actually run" evidence; see :func:`site_calls`).
+_CALLS: dict[str, int] = {}
+#: Per-spec trigger counts in this process (tokenless budget).
+_FIRED: dict[int, int] = {}
+#: Per-site scan position for global (token-dir) index claims: indices
+#: below this are known-taken, so claims resume scanning from here.
+_SCAN: dict[str, int] = {}
+#: Cache of the env-var plan keyed by the raw JSON, so workers parse once.
+_ENV_CACHE: tuple[str, FaultPlan] | None = None
+
+
+def install_plan(plan: FaultPlan, *, propagate: bool = True) -> FaultPlan:
+    """Make ``plan`` the active plan for this process (and, with
+    ``propagate``, for child processes via the environment)."""
+    global _PLAN
+    with _LOCK:
+        _PLAN = plan
+        _CALLS.clear()
+        _FIRED.clear()
+        _SCAN.clear()
+    if propagate:
+        os.environ[ENV_VAR] = plan.to_json()
+    return plan
+
+
+def clear_plan() -> None:
+    """Remove the active plan (and the environment propagation)."""
+    global _PLAN, _ENV_CACHE
+    with _LOCK:
+        _PLAN = None
+        _CALLS.clear()
+        _FIRED.clear()
+        _SCAN.clear()
+        _ENV_CACHE = None
+    os.environ.pop(ENV_VAR, None)
+
+
+def reset_fault_state() -> None:
+    """Zero invocation/trigger counters without touching the plan."""
+    with _LOCK:
+        _CALLS.clear()
+        _FIRED.clear()
+        _SCAN.clear()
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan this process would inject from (installed or inherited)."""
+    return _PLAN if _PLAN is not None else _env_plan()
+
+
+def site_calls(site: str) -> int:
+    """How many times ``site`` was reached in this process (plan active)."""
+    with _LOCK:
+        return _CALLS.get(site, 0)
+
+
+@contextmanager
+def injected_faults(plan: FaultPlan, *, propagate: bool = True):
+    """Scope ``plan`` to a ``with`` block (tests; always clears on exit)."""
+    install_plan(plan, propagate=propagate)
+    try:
+        yield plan
+    finally:
+        clear_plan()
+
+
+def _env_plan() -> FaultPlan | None:
+    """The plan inherited from :data:`ENV_VAR`, parsed once per value."""
+    global _ENV_CACHE
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    cached = _ENV_CACHE
+    if cached is not None and cached[0] == raw:
+        return cached[1]
+    try:
+        plan = FaultPlan.from_json(raw)
+    except (ValueError, TypeError):
+        # A mangled env var must never take the host process down.
+        return None
+    _ENV_CACHE = (raw, plan)
+    return plan
+
+
+# ---------------------------------------------------------------------- #
+# the injection point
+# ---------------------------------------------------------------------- #
+
+
+def _claim(plan: FaultPlan, index: int, spec: FaultSpec) -> bool:
+    """Consume one firing of ``spec`` (spec ``index`` in ``plan``).
+
+    With a token directory the budget is shared across every process
+    running this plan: firing k (of ``times``) is an exclusive-create of
+    ``token-<index>-<k>``, so exactly one process wins each k.  Without
+    one, the budget is a per-process counter.
+    """
+    if plan.token_dir is None:
+        with _LOCK:
+            fired = _FIRED.get(index, 0)
+            if fired >= spec.times:
+                return False
+            _FIRED[index] = fired + 1
+        return True
+    os.makedirs(plan.token_dir, exist_ok=True)
+    for k in range(spec.times):
+        token = os.path.join(plan.token_dir, f"token-{index}-{k}")
+        try:
+            fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.write(fd, f"pid={os.getpid()} site={spec.site}\n".encode())
+        os.close(fd)
+        return True
+    return False
+
+
+def _site_index(plan: FaultPlan, site: str) -> int:
+    """This invocation's index for ``site``.
+
+    With a token directory the index is claimed globally — exactly one
+    process owns each n, so ``start`` offsets select the n-th invocation
+    *across the whole run* regardless of which worker reaches it (crucial
+    for worker-site faults: per-process counts would never reach the
+    offset once tasks shard over a pool).  Tokenless plans count per
+    process.
+    """
+    with _LOCK:
+        local = _CALLS.get(site, 0)
+        _CALLS[site] = local + 1
+        scan = _SCAN.get(site, 0)
+    if plan.token_dir is None:
+        return local
+    os.makedirs(plan.token_dir, exist_ok=True)
+    n = scan
+    while True:
+        token = os.path.join(plan.token_dir, f"call-{site}-{n}")
+        try:
+            fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            n += 1
+            continue
+        os.write(fd, f"pid={os.getpid()}\n".encode())
+        os.close(fd)
+        with _LOCK:
+            _SCAN[site] = max(_SCAN.get(site, 0), n + 1)
+        return n
+
+
+def fault_point(site: str, **context) -> FaultSpec | None:
+    """Declare an injection site; act out the plan's fault, if any.
+
+    Returns ``None`` when nothing fires.  ``raise`` mode raises
+    :class:`InjectedFault`, ``hang`` sleeps then returns the spec,
+    ``kill`` never returns; ``torn_write`` returns the spec so the
+    calling writer can perform the tear itself (non-file sites may
+    ignore it).  ``context`` is folded into the raise message for
+    failure-manifest readability.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    index = _site_index(plan, site)
+    fired: FaultSpec | None = None
+    for i, spec in enumerate(plan.faults):
+        if spec.site != site or index < spec.start:
+            continue
+        if _claim(plan, i, spec):
+            fired = spec
+            break
+    if fired is None:
+        return None
+
+    from repro.obs.metrics import counter
+
+    counter("repro.faults.injected").inc()
+    counter(f"repro.faults.{fired.mode}").inc()
+
+    detail = " ".join(f"{k}={v}" for k, v in sorted(context.items()))
+    label = fired.message or (
+        f"injected {fired.mode} at {site} (invocation {index}"
+        + (f"; {detail}" if detail else "")
+        + ")"
+    )
+    if fired.mode == "raise":
+        raise InjectedFault(label)
+    if fired.mode == "hang":
+        time.sleep(fired.delay)
+        return fired
+    if fired.mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return fired

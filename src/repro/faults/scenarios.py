@@ -1,0 +1,101 @@
+"""Named chaos scenarios: seed-parameterized fault plans.
+
+Each scenario is a function ``(seed, token_dir) -> FaultPlan`` targeting
+the injection sites wired through the stack:
+
+==========================  ==================================================
+``runner.worker_cell``      inside a pool worker, before it computes a cell
+                            (``kill`` here = an OOM-killed worker)
+``runner.compute_cell``     inside cell computation, pooled *or* in-process
+``store.put_cells``         the parent-side artifact-store record write
+``store.get_cells``         the artifact-store record read
+``fileio.atomic_write``     the atomic temp-file writer (``torn_write`` here
+                            = power loss surfacing a half-written file)
+``service.run_job``         a service worker thread starting a job
+``stream.apply``            a streaming generation advance
+==========================  ==================================================
+
+The seed perturbs *when* a fault lands (the ``start`` offset), not
+whether it lands, so one scenario name sweeps distinct-but-reproducible
+failure points across seeds.  All scenarios keep budgets global via the
+token directory — "kill one worker" means one worker per run, not one
+per pool rebuild, which is what guarantees the run eventually completes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = ["SCENARIOS", "available_scenarios", "build_scenario"]
+
+
+def _worker_kill(rng: random.Random) -> tuple[FaultSpec, ...]:
+    """SIGKILL one pool worker mid-sweep (BrokenProcessPool recovery)."""
+    return (
+        FaultSpec("runner.worker_cell", mode="kill", times=1, start=rng.randrange(3)),
+    )
+
+
+def _torn_write(rng: random.Random) -> tuple[FaultSpec, ...]:
+    """Tear one store write mid-file (power-loss torn-file recovery)."""
+    return (
+        FaultSpec(
+            "fileio.atomic_write", mode="torn_write", times=1, start=rng.randrange(3)
+        ),
+    )
+
+
+def _store_flaky(rng: random.Random) -> tuple[FaultSpec, ...]:
+    """Two transient store-write errors (flaky-disk retry path)."""
+    return (
+        FaultSpec("store.put_cells", mode="raise", times=2, start=rng.randrange(3)),
+    )
+
+
+def _compute_flaky(rng: random.Random) -> tuple[FaultSpec, ...]:
+    """Two transient cell-compute errors (task retry/backoff path)."""
+    return (
+        FaultSpec("runner.compute_cell", mode="raise", times=2, start=rng.randrange(3)),
+    )
+
+
+def _job_flaky(rng: random.Random) -> tuple[FaultSpec, ...]:
+    """One transient service-job error (queue retry path)."""
+    return (FaultSpec("service.run_job", mode="raise", times=1, start=rng.randrange(2)),)
+
+
+def _chaos_smoke(rng: random.Random) -> tuple[FaultSpec, ...]:
+    """The CI gauntlet: worker kill + torn write + transient store error."""
+    return (
+        FaultSpec("runner.worker_cell", mode="kill", times=1, start=rng.randrange(3)),
+        FaultSpec("fileio.atomic_write", mode="torn_write", times=1, start=rng.randrange(3)),
+        FaultSpec("store.put_cells", mode="raise", times=1, start=rng.randrange(3)),
+    )
+
+
+SCENARIOS = {
+    "worker-kill": _worker_kill,
+    "torn-write": _torn_write,
+    "store-flaky": _store_flaky,
+    "compute-flaky": _compute_flaky,
+    "job-flaky": _job_flaky,
+    "chaos-smoke": _chaos_smoke,
+}
+
+
+def available_scenarios() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def build_scenario(name: str, *, seed: int = 0, token_dir: str | None = None) -> FaultPlan:
+    """The named scenario's plan for ``seed`` (deterministic per seed)."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        ) from None
+    rng = random.Random(seed)
+    return FaultPlan(faults=builder(rng), seed=seed, token_dir=token_dir)

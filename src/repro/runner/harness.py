@@ -128,6 +128,7 @@ def run_sweep(
     *,
     store=None,
     jobs: int | None = None,
+    retry=None,
     seeds=None,
     graphs=None,
     graph_loader=None,
@@ -142,6 +143,12 @@ def run_sweep(
         cells are written back — interrupt and re-run at will.
     jobs:
         Worker processes per grid (``> 1`` enables the pool).
+    retry:
+        Fault-tolerance policy for grid execution — a
+        :class:`~repro.runner.parallel.RetryPolicy` or a dict of its
+        fields (``max_attempts``, ``backoff_base``, ``backoff_cap``,
+        ``jitter``, ``task_timeout``).  Default: 3 attempts, capped
+        exponential backoff, no per-task timeout.
     seeds, graphs:
         Optional overrides of the spec's axes (e.g. CLI flags).
     graph_loader:
@@ -166,6 +173,8 @@ def run_sweep(
     cells = []
     grids = []
     workers: dict = {}
+    failed_cells: list = []
+    store_write_failures: list = []
     totals = {
         "cells_scheduled": 0,
         "cache_hits": 0,
@@ -173,6 +182,9 @@ def run_sweep(
         "compress_seconds": 0.0,
         "analysis_hits": 0,
         "analysis_misses": 0,
+        "retries": 0,
+        "pool_rebuilds": 0,
+        "store_write_retries": 0,
     }
     with stopwatch() as wall, span(
         "sweep", name=spec.name, graphs=len(spec.graphs), jobs=jobs or 1
@@ -180,12 +192,16 @@ def run_sweep(
         for graph_name in spec.graphs:
             job = JobSpec.from_sweep(spec, graph_name)
             result = execute_job(
-                job, store=store, jobs=jobs, graph_loader=loader
+                job, store=store, jobs=jobs, graph_loader=loader, retry=retry
             )
             cells.extend(result.table)
             grids.extend(result.perf["grids"])
             for key in totals:
                 totals[key] += result.perf.get(key, 0)
+            for entry in result.perf.get("failed_cells", ()):
+                failed_cells.append({"graph": graph_name, **entry})
+            for entry in result.perf.get("store_write_failures", ()):
+                store_write_failures.append({"graph": graph_name, **entry})
             merge_worker_stats(workers, result.perf.get("workers"))
 
     table = SweepTable(cells)
@@ -201,6 +217,11 @@ def run_sweep(
         "seeds": list(spec.seeds),
         "cells": len(table),
         **totals,
+        # Quarantine manifest: cell groups that exhausted their retry
+        # budget (the sweep completed without them) and store writes
+        # abandoned after retries (their cells are still in the table).
+        "failed_cells": failed_cells,
+        "store_write_failures": store_write_failures,
         # Canonical registry spellings of the flat totals above — the
         # legacy keys (analysis_hits vs the cache's own "hits" etc.) stay
         # as aliases so existing consumers keep working.
@@ -208,6 +229,10 @@ def run_sweep(
             "repro.runner.cells_scheduled": totals["cells_scheduled"],
             "repro.runner.cache_hits": totals["cache_hits"],
             "repro.runner.cache_misses": totals["cache_misses"],
+            "repro.runner.task_retries": totals["retries"],
+            "repro.runner.pool_rebuilds": totals["pool_rebuilds"],
+            "repro.runner.failed_cells": len(failed_cells),
+            "repro.runner.store_write_retries": totals["store_write_retries"],
             "repro.analysis.hits": totals["analysis_hits"],
             "repro.analysis.misses": totals["analysis_misses"],
         },

@@ -1,4 +1,4 @@
-"""Parallel, store-aware execution of grid sweeps.
+"""Parallel, store-aware, fault-tolerant execution of grid sweeps.
 
 :func:`run_grid` is the engine behind ``Session(store=…, jobs=N).grid``:
 it takes the session's already-resolved grid plan (schemes × algorithm
@@ -25,21 +25,53 @@ execute the very same ``Session._score_cells`` code on the very same
 inputs, and the parent reassembles cells in deterministic plan order, so
 a parallel, store-backed grid equals the single-process one on a fixed
 seed (metric values, ratios, labels; wall times naturally vary).
+
+**Fault tolerance.**  A sweep over a scheme×algorithm×seed cube runs for
+hours; one OOM-killed worker must not lose the night.  The executor
+therefore treats every task as retryable under a :class:`RetryPolicy`:
+
+- a task that **raises** in a worker (or in-process) is requeued with
+  capped exponential backoff plus deterministic jitter;
+- a **dead worker** (``BrokenProcessPool`` — SIGKILL, OOM, segfault)
+  rebuilds the pool and requeues every in-flight task;
+- a task exceeding the policy's **per-task timeout** has its (hung)
+  workers killed, the pool rebuilt, and the task requeued — innocent
+  in-flight tasks are requeued without an attempt charge;
+- a task still failing after ``max_attempts`` is **quarantined** as a
+  :class:`FailedCell` in the perf record's ``failed_cells`` manifest
+  instead of aborting the sweep — the grid returns partial results plus
+  the manifest, and BENCH records carry both;
+- a **store write** failure is retried with the same backoff and, when
+  exhausted, logged to ``store_write_failures`` — the computed cells are
+  kept, so the sweep's results never depend on store durability.
+
+Because a retried task recomputes from the same snapshot, seed, and
+specs, recovery is *correct*, not just survivable: a sweep that rides
+through injected faults (:mod:`repro.faults`) produces cells
+value-identical to a clean run, which ``python -m repro.faults`` and the
+``chaos-smoke`` CI job assert.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import math
 import os
+import random
 import shutil
 import tempfile
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.algorithms.spec import AlgorithmSpec
 from repro.analytics.grid import GridCell
+from repro.faults.plan import fault_point
 from repro.graphs.analysis import analysis_cache, stats_delta
 from repro.metrics.registry import resolve_metric
+from repro.obs.metrics import counter
 from repro.obs.resources import peak_rss_bytes
 from repro.obs.spans import (
     current_span_id,
@@ -50,7 +82,71 @@ from repro.obs.spans import (
 )
 from repro.utils.timer import stopwatch, timed_call
 
-__all__ = ["run_grid", "CellTask"]
+__all__ = ["run_grid", "CellTask", "RetryPolicy", "FailedCell"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor responds to task failures.
+
+    ``backoff(attempt)`` grows ``backoff_base * 2**(attempt-1)`` capped
+    at ``backoff_cap``, with up to ``jitter`` (a fraction) of extra delay
+    drawn from the deterministic per-grid RNG — retries de-synchronize
+    without making reruns irreproducible.  ``task_timeout`` (seconds,
+    measured from submission to a free worker slot) is enforced only for
+    pooled execution; ``None`` disables it.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    task_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_cap < 0 or self.jitter < 0:
+            raise ValueError("backoff_base, backoff_cap, and jitter must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {self.task_timeout}")
+
+    @classmethod
+    def of(cls, value) -> "RetryPolicy":
+        """Coerce ``None``/dict/policy to a policy (session convenience)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls(**value)
+        raise TypeError(f"cannot build a RetryPolicy from {type(value).__name__}")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1)))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """One quarantined cell group: the sweep went on without it."""
+
+    scheme: str
+    seed: object
+    algorithm: str
+    error: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
 
 
 @dataclass(frozen=True)
@@ -104,6 +200,12 @@ def _init_worker(snapshot_path: str, session_kwargs: dict, trace: bool = False) 
 
 
 def _worker_cell(task: dict) -> tuple[dict, list[dict], dict]:
+    # Chaos hook: "kill" here is an OOM-killed worker (BrokenProcessPool
+    # in the parent), "raise" a transient in-worker failure, "hang" a
+    # wedged worker for the per-task timeout to reap.
+    fault_point(
+        "runner.worker_cell", scheme=task["scheme"], algorithm=task["algorithm"]
+    )
     with span("worker.cell", scheme=task["scheme"], algorithm=task["algorithm"]):
         cells, perf = _compute_cell(_WORKER["session"], _WORKER["runs"], task)
     # Per-worker accounting for BENCH records (always) and the worker's
@@ -129,6 +231,9 @@ def _compute_cell(session, runs: dict, task: dict) -> tuple[list[dict], dict]:
     scheme-major, so in practice each compression still runs once).
     Baselines dedupe through the session's own cache.
     """
+    fault_point(
+        "runner.compute_cell", scheme=task["scheme"], algorithm=task["algorithm"]
+    )
     analysis_before = analysis_cache().stats()
     run_key = (task["scheme"], task["seed"])
     cached = runs.get(run_key)
@@ -192,11 +297,14 @@ def run_grid(session, built, runners, plans, *, seed):
 
     Returns ``(cells, perf)`` where ``cells`` is in the same deterministic
     (scheme-major, then algorithm, then metric) order the in-memory path
-    produces, and ``perf`` reports cache hits/misses, compression time,
-    and wall time for this call.
+    produces — minus any quarantined cells, which appear in
+    ``perf["failed_cells"]`` instead — and ``perf`` reports cache
+    hits/misses, compression time, retries, and wall time for this call.
     """
     store = session.store
     jobs = session.jobs or 1
+    retry = RetryPolicy.of(getattr(session, "retry", None))
+    rng = random.Random(f"retry-jitter-{seed}")
     with stopwatch() as wall:
         tasks = _make_tasks(session, built, runners, plans, seed)
 
@@ -214,6 +322,14 @@ def run_grid(session, built, runners, plans, *, seed):
             "cache_misses": 0,
             "compress_seconds": 0.0,
             "analysis_cache": {"hits": 0, "misses": 0, "by_analysis": {}},
+            # Fault-tolerance accounting: task re-executions, quarantined
+            # cell groups, pool rebuilds after dead/hung workers, and
+            # store writes that needed retries / were abandoned.
+            "retries": 0,
+            "failed_cells": [],
+            "pool_rebuilds": 0,
+            "store_write_retries": 0,
+            "store_write_failures": [],
             # Per-worker-process accounting (pid-keyed): snapshot load
             # time, peak RSS, cells computed.  Empty for in-process runs.
             "workers": {},
@@ -262,23 +378,259 @@ def run_grid(session, built, runners, plans, *, seed):
                 key = store.cell_key(
                     fingerprint, task.scheme, task.seed, task.algorithm, task.metrics
                 )
-                store.put_cells(key, {"cells": cells, "perf": cell_perf})
+                _store_put(store, key, {"cells": cells, "perf": cell_perf}, retry, rng, perf)
 
         if pending and jobs > 1:
-            _run_pool(session, store, fingerprint, pending, jobs, harvest)
+            _run_pool(session, store, fingerprint, pending, jobs, harvest, retry, rng, perf)
         elif pending:
-            # In-process: reuse the parent session so its baseline cache
-            # keeps paying off across grids; compressions cached per call.
-            runs: dict = {}
-            for task in pending:
-                cells, cell_perf = _compute_cell(session, runs, task.transport())
-                harvest(task, cells, cell_perf)
+            _run_inline(session, pending, harvest, retry, rng, perf)
 
         cells = _assemble(tasks, runners, results)
     perf["wall_seconds"] = wall.seconds
     if store is not None:
         perf["store_stats"] = store.stats.snapshot()
     return cells, perf
+
+
+def _store_put(store, key, payload, retry: RetryPolicy, rng, perf: dict) -> bool:
+    """Write one cell record, riding out transient store failures.
+
+    The cells are already harvested — a store that stays broken costs
+    future replays, never this sweep's results — so exhaustion logs a
+    ``store_write_failures`` entry and moves on instead of raising.
+    """
+    for attempt in range(1, retry.max_attempts + 1):
+        try:
+            store.put_cells(key, payload)
+            return True
+        except Exception as err:  # noqa: BLE001 — flaky disks throw anything
+            if attempt >= retry.max_attempts:
+                perf["store_write_failures"].append(
+                    {
+                        "digest": key.digest,
+                        "error": f"{type(err).__name__}: {err}",
+                        "attempts": attempt,
+                    }
+                )
+                counter("repro.runner.store_write_failures").inc()
+                return False
+            perf["store_write_retries"] += 1
+            counter("repro.runner.store_write_retries").inc()
+            time.sleep(retry.backoff(attempt, rng))
+    return False
+
+
+def _quarantine(task: CellTask, err, attempts: int, perf: dict) -> None:
+    perf["failed_cells"].append(
+        FailedCell(
+            scheme=task.scheme,
+            seed=task.seed,
+            algorithm=task.algorithm,
+            error=f"{type(err).__name__}: {err}",
+            attempts=attempts,
+        ).to_dict()
+    )
+    counter("repro.runner.failed_cells").inc()
+
+
+def _run_inline(session, pending, harvest, retry: RetryPolicy, rng, perf: dict) -> None:
+    """In-process execution with the same retry/quarantine semantics.
+
+    Reuses the parent session so its baseline cache keeps paying off
+    across grids; compressions cached per call.  A failed attempt may
+    leave a partial compression in ``runs`` — retries clear it first.
+    """
+    runs: dict = {}
+    for task in pending:
+        for attempt in range(1, retry.max_attempts + 1):
+            try:
+                cells, cell_perf = _compute_cell(session, runs, task.transport())
+            except Exception as err:  # noqa: BLE001 — any failure is retryable
+                runs.clear()
+                if attempt >= retry.max_attempts:
+                    _quarantine(task, err, attempt, perf)
+                    break
+                perf["retries"] += 1
+                counter("repro.runner.task_retries").inc()
+                time.sleep(retry.backoff(attempt, rng))
+            else:
+                harvest(task, cells, cell_perf)
+                break
+
+
+def _run_pool(
+    session, store, fingerprint, pending, jobs, harvest, retry: RetryPolicy, rng, perf
+) -> None:
+    """Fan ``pending`` tasks over a process pool, streaming results back.
+
+    The pool is treated as a crashable resource: per-future exceptions
+    requeue the task with backoff, a broken pool (dead worker) or a
+    per-task timeout (hung worker, killed here) rebuilds it and requeues
+    the in-flight tasks, and tasks out of attempts are quarantined.
+    """
+    tmpdir = None
+    if store is not None:
+        # The snapshot is the one write the sweep cannot proceed without,
+        # so transient failures retry (a torn/damaged file is rewritten —
+        # add_graph validates existing snapshots) and exhaustion raises.
+        for attempt in range(1, retry.max_attempts + 1):
+            try:
+                _, snapshot_path = store.add_graph(session.graph, fingerprint)
+                break
+            except Exception:  # noqa: BLE001 — flaky disks throw anything
+                if attempt >= retry.max_attempts:
+                    raise
+                perf["store_write_retries"] += 1
+                counter("repro.runner.store_write_retries").inc()
+                time.sleep(retry.backoff(attempt, rng))
+    else:
+        from repro.graphs.snapshot import save_snapshot
+
+        tmpdir = tempfile.mkdtemp(prefix="repro-grid-")
+        snapshot_path = save_snapshot(session.graph, Path(tmpdir) / "graph.npz")
+    session_kwargs = {
+        "seed": session.seed,
+        "backend": session.backend,
+        "num_chunks": session.num_chunks,
+        "bfs_root": session.bfs_root,
+        "pr_iterations": session.pr_iterations,
+    }
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(str(snapshot_path), session_kwargs, tracing_enabled()),
+        )
+
+    pool: ProcessPoolExecutor | None = None
+
+    def shutdown_pool(*, kill: bool = False) -> None:
+        nonlocal pool
+        if pool is None:
+            return
+        if kill:
+            # A hung worker never returns; terminate so shutdown's join
+            # completes.  ``_processes`` is executor-internal — guard it.
+            procs = getattr(pool, "_processes", None) or {}
+            for proc in list(procs.values()):
+                try:
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 — already dead is fine
+                    pass
+        pool.shutdown(wait=True, cancel_futures=True)
+        pool = None
+
+    # Ready-queue ordered by (not-before time, submission sequence): fresh
+    # tasks keep the deterministic scheme-major order; retries re-enter
+    # after their backoff.  ``attempts`` survives requeues.
+    seq = itertools.count()
+    ready: list[tuple[float, int, CellTask]] = [
+        (0.0, next(seq), task) for task in pending
+    ]
+    heapq.heapify(ready)
+    attempts: dict[CellTask, int] = {}
+    window: dict = {}  # future -> (task, deadline)
+
+    def fail_or_requeue(task: CellTask, err, *, charge: bool = True) -> None:
+        if not charge:
+            heapq.heappush(ready, (time.monotonic(), next(seq), task))
+            return
+        n = attempts[task] = attempts.get(task, 0) + 1
+        if n >= retry.max_attempts:
+            _quarantine(task, err, n, perf)
+            return
+        perf["retries"] += 1
+        counter("repro.runner.task_retries").inc()
+        delay = retry.backoff(n, rng)
+        heapq.heappush(ready, (time.monotonic() + delay, next(seq), task))
+
+    def rebuild_after(kind: str) -> None:
+        perf["pool_rebuilds"] += 1
+        counter("repro.runner.pool_rebuilds").inc()
+        shutdown_pool(kill=(kind == "timeout"))
+
+    try:
+        while ready or window:
+            now = time.monotonic()
+            while ready and len(window) < jobs and ready[0][0] <= now:
+                _, _, task = heapq.heappop(ready)
+                if pool is None:
+                    pool = make_pool()
+                future = pool.submit(_worker_cell, task.transport())
+                deadline = (
+                    math.inf
+                    if retry.task_timeout is None
+                    else now + retry.task_timeout
+                )
+                window[future] = (task, deadline)
+            if not window:
+                # Everything is backing off; sleep until the first is due.
+                time.sleep(min(0.5, max(0.0, ready[0][0] - now)) or 0.001)
+                continue
+
+            next_deadline = min(deadline for _, deadline in window.values())
+            poll = None
+            if next_deadline is not math.inf or ready:
+                bounds = [0.25]
+                if next_deadline is not math.inf:
+                    bounds.append(max(0.01, next_deadline - now))
+                if ready:
+                    bounds.append(max(0.01, ready[0][0] - now))
+                poll = min(bounds)
+            done, _ = wait(set(window), timeout=poll, return_when=FIRST_COMPLETED)
+
+            for future in done:
+                if future not in window:  # window cleared by a pool rebuild
+                    continue
+                task, _ = window.pop(future)
+                try:
+                    task_dict, cells, cell_perf = future.result()
+                except BrokenExecutor as err:
+                    # The pool died under us (SIGKILL/OOM/segfault): every
+                    # in-flight future is lost with it.  Requeue them all
+                    # (each was interrupted — each attempt is charged),
+                    # rebuild lazily on next submission.
+                    lost = [task] + [t for t, _ in window.values()]
+                    window.clear()
+                    rebuild_after("broken")
+                    for casualty in lost:
+                        fail_or_requeue(casualty, err)
+                    break
+                except Exception as err:  # noqa: BLE001 — task failure is data
+                    fail_or_requeue(task, err)
+                else:
+                    harvest(task, cells, cell_perf)
+
+            if not done and retry.task_timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    (future, task)
+                    for future, (task, deadline) in window.items()
+                    if now >= deadline and not future.done()
+                ]
+                if expired:
+                    # Hung worker(s): the executor cannot cancel running
+                    # work, so kill the pool and resubmit.  Only the
+                    # expired tasks are charged an attempt; co-resident
+                    # tasks were innocent.
+                    expired_tasks = {task for _, task in expired}
+                    survivors = [
+                        t for t, _ in window.values() if t not in expired_tasks
+                    ]
+                    window.clear()
+                    rebuild_after("timeout")
+                    err = TimeoutError(
+                        f"task exceeded the {retry.task_timeout}s per-task timeout"
+                    )
+                    for task in expired_tasks:
+                        fail_or_requeue(task, err)
+                    for task in survivors:
+                        fail_or_requeue(task, None, charge=False)
+    finally:
+        shutdown_pool()
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
 
 
 def _merge_analysis(total: dict, delta: dict | None) -> None:
@@ -293,42 +645,6 @@ def _merge_analysis(total: dict, delta: dict | None) -> None:
         slot["misses"] += counts.get("misses", 0)
 
 
-def _run_pool(session, store, fingerprint, pending, jobs, harvest) -> None:
-    """Fan ``pending`` tasks over a process pool, streaming results back."""
-    tmpdir = None
-    if store is not None:
-        _, snapshot_path = store.add_graph(session.graph, fingerprint)
-    else:
-        from repro.graphs.snapshot import save_snapshot
-
-        tmpdir = tempfile.mkdtemp(prefix="repro-grid-")
-        snapshot_path = save_snapshot(session.graph, Path(tmpdir) / "graph.npz")
-    session_kwargs = {
-        "seed": session.seed,
-        "backend": session.backend,
-        "num_chunks": session.num_chunks,
-        "bfs_root": session.bfs_root,
-        "pr_iterations": session.pr_iterations,
-    }
-    by_routing = {(t.scheme_index, t.runner_index): t for t in pending}
-    try:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(str(snapshot_path), session_kwargs, tracing_enabled()),
-        ) as pool:
-            futures = [pool.submit(_worker_cell, t.transport()) for t in pending]
-            for future in as_completed(futures):
-                task_dict, cells, cell_perf = future.result()
-                task = by_routing[
-                    (task_dict["scheme_index"], task_dict["runner_index"])
-                ]
-                harvest(task, cells, cell_perf)
-    finally:
-        if tmpdir is not None:
-            shutil.rmtree(tmpdir, ignore_errors=True)
-
-
 def _assemble(tasks, runners, results) -> list[GridCell]:
     """Cells in plan order, labeled like the in-memory path.
 
@@ -338,15 +654,17 @@ def _assemble(tasks, runners, results) -> list[GridCell]:
     payloads may also carry the *writer's* metric order (store keys are
     metric-order-free), so rows are re-sorted to this call's requested
     order — a warm replay is row-for-row identical to the in-memory grid
-    no matter how the cells were first spelled.
+    no matter how the cells were first spelled.  Quarantined tasks have
+    no results entry and are skipped — their identity lives in the perf
+    record's ``failed_cells`` manifest.
     """
     cells: list[GridCell] = []
     for task in tasks:
+        payload = results.get((task.scheme_index, task.runner_index))
+        if payload is None:
+            continue
         label = runners[task.runner_index].label
-        rows = [
-            GridCell.from_dict(data)
-            for data in results[(task.scheme_index, task.runner_index)]
-        ]
+        rows = [GridCell.from_dict(data) for data in payload]
         if len(task.metrics) > 1:
             order = {m: i for i, m in enumerate(task.metrics)}
             rows.sort(key=lambda c: order.get(c.metric, len(order)))

@@ -262,6 +262,15 @@ class ArtifactStore:
         version mismatch, and (paranoia against digest collisions) a
         record whose embedded key differs from ``key``.
         """
+        from repro.faults.plan import InjectedFault, fault_point
+
+        try:
+            fault_point("store.get_cells", digest=key.digest[:12])
+        except InjectedFault:
+            # Reads never raise — a flaky read degrades to a miss and the
+            # caller recomputes (and rewrites) the cell.
+            self.stats.add(corrupt=1, misses=1)
+            return None
         path = self._record_path(key)
         try:
             record = json.loads(path.read_text())
@@ -290,6 +299,9 @@ class ArtifactStore:
         sidecar, written *before* the record so a reader that sees the
         record always finds its arrays.
         """
+        from repro.faults.plan import fault_point
+
+        fault_point("store.put_cells", digest=key.digest[:12])
         record = {
             "schema_version": self.schema_version,
             "key": key.to_dict(),

@@ -52,6 +52,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="on shutdown, fail queued jobs instead of running them",
     )
     parser.add_argument(
+        "--ledger", metavar="PATH",
+        help="crash-safe job ledger (JSONL WAL); on restart, finished "
+        "jobs are restored and interrupted ones resubmitted — survives "
+        "kill -9",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=1, metavar="N",
+        help="executions per job before it fails (default 1 = no retry)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per job from submission (default: none)",
+    )
+    parser.add_argument(
+        "--max-queued", type=int, default=None, metavar="N",
+        help="waiting-job cap; beyond it POST /jobs answers 503 with "
+        "Retry-After (default: unbounded)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
@@ -59,7 +78,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
-    queue = JobQueue(args.store, workers=args.jobs, pool_jobs=args.pool_jobs)
+    queue = JobQueue(
+        args.store,
+        workers=args.jobs,
+        pool_jobs=args.pool_jobs,
+        max_attempts=args.max_attempts,
+        job_timeout=args.job_timeout,
+        max_queued=args.max_queued,
+        ledger=args.ledger,
+    )
     server = serve(queue, host=args.host, port=args.port)
     server.verbose = args.verbose
     host, port = server.server_address[:2]
@@ -71,9 +98,12 @@ def main(argv=None) -> int:
         print("shutting down: draining jobs...", flush=True)
     finally:
         server.server_close()
-        queue.close(drain=not args.no_drain)
-    print("repro service: stopped", flush=True)
-    return 0
+        clean = queue.close(drain=not args.no_drain)
+    print(
+        "repro service: stopped" + ("" if clean else " (workers still busy)"),
+        flush=True,
+    )
+    return 0 if clean else 1
 
 
 if __name__ == "__main__":

@@ -136,6 +136,7 @@ def _job_rows(queue: JobQueue, now: float, limit: int) -> str:
             f"<td>{html.escape(record.spec.graph)}</td>"
             f'<td><span class="state {record.state}">{record.state}</span>{detail}</td>'
             f'<td class="num">{summary["cell_groups"]}</td>'
+            f'<td class="num">{record.attempts}</td>'
             f'<td class="num">{record.coalesced}</td>'
             f'<td class="num">{run}</td>'
             f'<td class="num">{_age(record.submitted_at, now)}</td>'
@@ -221,7 +222,7 @@ auto-refreshes every {_REFRESH_SECONDS}s</p>
 <h2>Recent jobs</h2>
 <table>
 <thead><tr><th>id</th><th>graph</th><th>state</th><th class="num">cell groups</th>
-<th class="num">coalesced</th><th class="num">run time</th>
+<th class="num">attempts</th><th class="num">coalesced</th><th class="num">run time</th>
 <th class="num">submitted</th></tr></thead>
 <tbody>{_job_rows(queue, now, recent)}</tbody>
 </table>

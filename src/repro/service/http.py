@@ -34,12 +34,17 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.service.queue import DONE, FAILED, JobQueue
+from repro.service.queue import DONE, FAILED, JobQueue, QueueClosed, QueueSaturated
 
 __all__ = ["ServiceHandler", "ServiceServer", "serve", "start_in_thread"]
 
 #: Submission bodies above this size are rejected (a job spec is tiny).
 MAX_BODY_BYTES = 1 << 20
+
+#: ``Retry-After`` seconds sent with 503s.  A saturated queue usually
+#: drains within a job's runtime; a closing queue never reopens, but the
+#: supervisor restarting the process typically has it back by then too.
+RETRY_AFTER_SECONDS = 5
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -58,19 +63,31 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- responses ---------------------------------------------------------- #
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self, status: int, body: bytes, content_type: str, headers: dict | None = None
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
-    def _json(self, payload, status: int = 200) -> None:
+    def _json(self, payload, status: int = 200, headers: dict | None = None) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-        self._send(status, body, "application/json")
+        self._send(status, body, "application/json", headers)
 
-    def _error(self, status: int, message: str, **extra) -> None:
-        self._json({"error": message, **extra}, status=status)
+    def _error(self, status: int, message: str, headers: dict | None = None, **extra) -> None:
+        self._json({"error": message, **extra}, status=status, headers=headers)
+
+    def _unavailable(self, message: str) -> None:
+        """503 with ``Retry-After`` — the back-pressure/shutdown answer."""
+        self._error(
+            503, message,
+            headers={"Retry-After": RETRY_AFTER_SECONDS},
+            retry_after=RETRY_AFTER_SECONDS,
+        )
 
     # -- routing ------------------------------------------------------------ #
 
@@ -164,8 +181,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (TypeError, ValueError) as err:
             self._error(400, str(err))
             return
-        except RuntimeError as err:  # queue closed mid-shutdown
-            self._error(503, str(err))
+        except (QueueClosed, QueueSaturated) as err:
+            self._unavailable(str(err))
+            return
+        except RuntimeError as err:  # foreign queue stand-ins
+            self._unavailable(str(err))
             return
         self._json(record.summary(), status=202)
 

@@ -311,17 +311,22 @@ def load_job_graph(job: JobSpec, *, store=None, graph_loader=None):
 
 
 def execute_job(
-    job: JobSpec, *, store=None, jobs: int | None = None, graph_loader=None
+    job: JobSpec, *, store=None, jobs: int | None = None, graph_loader=None,
+    retry=None,
 ) -> JobResult:
     """Run one job to completion — the scheduler all front-ends share.
 
     ``store``/``jobs`` select replay and process-pool fan-out exactly as
     :class:`~repro.analytics.session.Session` does; cells already stored
-    replay with zero recomputation.  The returned perf dict carries the
-    same counter names the BENCH records and the harness totals use
+    replay with zero recomputation.  ``retry`` (a
+    :class:`~repro.runner.parallel.RetryPolicy` or dict) sets the grid's
+    fault-tolerance policy.  The returned perf dict carries the same
+    counter names the BENCH records and the harness totals use
     (``cells_scheduled``, ``cache_hits``/``cache_misses``,
-    ``compress_seconds``, ``analysis_hits``/``analysis_misses``), plus
-    one ``grids`` entry per seed.
+    ``compress_seconds``, ``analysis_hits``/``analysis_misses``,
+    ``retries``/``pool_rebuilds``/``store_write_retries`` and the
+    ``failed_cells`` quarantine manifest), plus one ``grids`` entry per
+    seed.
     """
     from repro.analytics.session import Session
 
@@ -337,10 +342,13 @@ def execute_job(
         pr_iterations=job.pr_iterations,
         store=store,
         jobs=jobs,
+        retry=retry,
     )
     cells = []
     grids = []
     workers: dict = {}
+    failed_cells: list = []
+    store_write_failures: list = []
     totals = {
         "cells_scheduled": 0,
         "cache_hits": 0,
@@ -348,6 +356,9 @@ def execute_job(
         "compress_seconds": 0.0,
         "analysis_hits": 0,
         "analysis_misses": 0,
+        "retries": 0,
+        "pool_rebuilds": 0,
+        "store_write_retries": 0,
     }
     with stopwatch() as wall, span(
         "job", graph=job.graph, seeds=len(job.seeds), schemes=len(job.schemes)
@@ -367,6 +378,12 @@ def execute_job(
             grid_perf["analysis_misses"] = analysis.get("misses", 0)
             for key in totals:
                 totals[key] += grid_perf.get(key, 0)
+            # Quarantine manifests carry cell identity; tag each entry
+            # with the seed's grid so multi-seed jobs stay attributable.
+            for entry in grid_perf.get("failed_cells", ()):
+                failed_cells.append(dict(entry))
+            for entry in grid_perf.get("store_write_failures", ()):
+                store_write_failures.append(dict(entry))
             merge_worker_stats(workers, grid_perf.get("workers"))
             grids.append({"graph": job.graph, "seed": seed, **grid_perf})
     table = SweepTable(cells)
@@ -376,6 +393,8 @@ def execute_job(
         "seeds": list(job.seeds),
         "cells": len(table),
         **totals,
+        "failed_cells": failed_cells,
+        "store_write_failures": store_write_failures,
         "workers": workers,
         "wall_seconds": wall.seconds,
         "grids": grids,

@@ -1,0 +1,175 @@
+"""Crash-safe job ledger: an append-only WAL of queue transitions.
+
+``python -m repro.service --ledger ledger.jsonl`` must survive
+``kill -9``: on restart, every job the dead process had accepted is
+restored — finished jobs reappear with their final state, interrupted
+ones (queued or running at the time of death) are resubmitted, and
+because resubmission runs against the same warm artifact store, a job
+that had already completed its cells replays in milliseconds.
+
+The format is deliberately boring: one JSON object per line, appended
+and fsynced per event (``durable=False`` drops the fsync for tests).
+Appending is the only mutation the hot path performs, so a crash can
+lose at most the *last* line, and only by tearing it — replay therefore
+skips undecodable lines instead of failing.  Event schema:
+
+``submitted``    id, key, spec (full transport dict), ts
+``running``      id, attempts, ts
+``requeued``     id, attempts, error, ts   (a retry is scheduled)
+``done``         id, seconds, warm, ts
+``failed``       id, error, attempts, ts
+``snapshot``     one job's entire replayed state (written by compaction)
+
+:meth:`JobLedger.compact` folds the log into one ``snapshot`` line per
+job via :func:`repro.utils.fileio.atomic_write` (same torn-write-proof
+rename discipline as the store), so a long-lived service's ledger grows
+with its *jobs*, not its *events*.  The queue compacts on startup, right
+after replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.utils.fileio import atomic_write
+
+__all__ = ["JobLedger"]
+
+#: Events that (re)introduce a job during replay.
+_CREATING = ("submitted", "snapshot")
+
+
+class JobLedger:
+    """Append-only JSONL write-ahead log of job state transitions."""
+
+    def __init__(self, path, *, durable: bool = True):
+        self.path = Path(path)
+        self.durable = durable
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- writing ------------------------------------------------------------ #
+
+    def record(self, event: str, job_id: str, **fields) -> None:
+        """Append one transition; durable before the caller proceeds."""
+        entry = {"event": event, "id": job_id, "ts": time.time(), **fields}
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            if self.durable:
+                os.fsync(self._fh.fileno())
+
+    # -- reading ------------------------------------------------------------ #
+
+    def replay(self) -> dict[str, dict]:
+        """Fold the log into per-job latest state, in submission order.
+
+        Returns ``{job_id: state}`` where state carries ``id``, ``key``,
+        ``spec`` (transport dict), ``state`` (queue state name),
+        ``attempts``, ``submitted_at``, and — when present — ``error``,
+        ``seconds``, ``warm``.  Undecodable lines (a torn final append)
+        and transitions for unknown ids (events outliving a compaction
+        race) are skipped: replay never raises on a damaged ledger.
+        """
+        jobs: dict[str, dict] = {}
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return jobs
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn append; the WAL contract allows only this
+            if not isinstance(entry, dict) or "id" not in entry:
+                continue
+            event = entry.get("event")
+            job_id = entry["id"]
+            if event in _CREATING:
+                job = {
+                    "id": job_id,
+                    "key": entry.get("key"),
+                    "spec": entry.get("spec"),
+                    "state": entry.get("state", "queued"),
+                    "attempts": entry.get("attempts", 0),
+                    "submitted_at": entry.get("submitted_at", entry.get("ts")),
+                }
+                for field in ("error", "seconds", "warm"):
+                    if field in entry:
+                        job[field] = entry[field]
+                jobs[job_id] = job
+                continue
+            job = jobs.get(job_id)
+            if job is None:
+                continue
+            if event == "running":
+                job["state"] = "running"
+                job["attempts"] = entry.get("attempts", job["attempts"])
+            elif event == "requeued":
+                job["state"] = "queued"
+                job["attempts"] = entry.get("attempts", job["attempts"])
+            elif event == "done":
+                job["state"] = "done"
+                job["seconds"] = entry.get("seconds", 0.0)
+                job["warm"] = entry.get("warm", False)
+            elif event == "failed":
+                job["state"] = "failed"
+                job["error"] = entry.get("error", "unknown failure")
+                job["attempts"] = entry.get("attempts", job["attempts"])
+        return jobs
+
+    # -- maintenance -------------------------------------------------------- #
+
+    def compact(self, jobs: dict[str, dict] | None = None) -> int:
+        """Rewrite the log as one ``snapshot`` line per job; line count.
+
+        Atomic (write-temp + fsync + rename): a crash mid-compaction
+        leaves the old log intact.  ``jobs`` defaults to :meth:`replay`.
+        """
+        if jobs is None:
+            jobs = self.replay()
+        lines = []
+        for job_id in sorted(jobs, key=_submission_order):
+            entry = {"event": "snapshot", **jobs[job_id]}
+            lines.append(
+                json.dumps(entry, sort_keys=True, separators=(",", ":"))
+            )
+        payload = ("\n".join(lines) + "\n") if lines else ""
+        with self._lock:
+            self._fh.close()
+            atomic_write(
+                self.path,
+                lambda fh: fh.write(payload.encode("utf-8")),
+                durable=self.durable,
+            )
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return len(lines)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "JobLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _submission_order(job_id: str) -> tuple:
+    """Sort key preserving ``j<n>-<key>`` numeric submission order."""
+    try:
+        return (0, int(job_id.split("-", 1)[0].lstrip("j")))
+    except ValueError:
+        return (1, job_id)

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.algorithms.triangles import edge_ids_of_pairs
+from repro.faults.plan import fault_point
 from repro.graphs.csr import CSRGraph
 from repro.obs.metrics import counter, histogram
 from repro.obs.spans import span
@@ -201,6 +202,12 @@ class GraphStream:
         parent = self._records[-1]
         start = time.perf_counter()
         with span("stream.apply", generation=parent.index + 1, delta=delta.size):
+            # Chaos hook placed *before* any mutation: a faulted apply
+            # must leave head and ledger exactly as they were, so the
+            # caller can retry the same delta against the same state.
+            fault_point(
+                "stream.apply", generation=parent.index + 1, delta_id=delta.delta_id
+            )
             g = apply_delta(self._head, delta)
         elapsed = time.perf_counter() - start
         counter("repro.stream.deltas_applied").inc()

@@ -1,11 +1,23 @@
-"""Atomic file writes shared by every on-disk artifact producer.
+"""Atomic, durable file writes shared by every on-disk artifact producer.
 
-The artifact store and the graph snapshotter both promise that a reader
-never observes a half-written file: content goes to a temp file in the
-target directory (same filesystem, so the final rename cannot cross a
-device boundary) and is moved into place with ``os.replace``.  A crash
-mid-write leaves either the previous file or an orphaned ``*.tmp`` that
-the next write ignores.
+The artifact store, the graph snapshotter, and the service job ledger
+all promise that a reader never observes a half-written file: content
+goes to a temp file in the target directory (same filesystem, so the
+final rename cannot cross a device boundary) and is moved into place
+with ``os.replace``.  A crash mid-write leaves either the previous file
+or an orphaned ``*.tmp`` that the next write ignores.
+
+Durability goes beyond the rename: the temp file is **fsynced before**
+``os.replace`` and the parent directory is **fsynced after**, so a power
+loss cannot surface an empty (or stale-length) renamed file — without
+the first fsync the rename can land while the data blocks are still in
+the page cache; without the second the rename itself can be lost.
+
+``fileio.atomic_write`` is also a fault-injection site
+(:func:`repro.faults.fault_point`): a scheduled ``torn_write`` fault
+truncates the payload mid-file, makes the torn file *visible*, and then
+raises — exactly the failure the fsync discipline exists to prevent —
+so corruption-tolerant readers can be tested against real torn files.
 """
 
 from __future__ import annotations
@@ -18,19 +30,55 @@ from typing import Callable
 __all__ = ["atomic_write"]
 
 
-def atomic_write(path, write: Callable) -> Path:
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry (the rename) to disk; best-effort on
+    filesystems/platforms that cannot open directories."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path, write: Callable, *, durable: bool = True) -> Path:
     """Run ``write(fh)`` against a temp file, then rename onto ``path``.
 
     ``fh`` is a binary-mode file object.  Parent directories are created.
     On any failure the temp file is removed and the target is untouched.
+    ``durable=True`` (the default) fsyncs the temp file before the rename
+    and the parent directory after it; pass ``False`` only for scratch
+    output where a post-crash empty file is acceptable.
     """
+    from repro.faults.plan import InjectedFault, fault_point
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
             write(fh)
+            fh.flush()
+            fault = fault_point("fileio.atomic_write", path=str(path))
+            if fault is not None and fault.mode == "torn_write":
+                # Simulate a power loss with no fsync: half the payload
+                # reaches disk, yet the rename becomes visible.  The torn
+                # file replaces the target, then the "crash" surfaces as
+                # an InjectedFault for the caller's retry path.
+                size = fh.tell()
+                fh.truncate(max(1, size // 2))
+                fh.close()
+                os.replace(tmp, path)
+                raise InjectedFault(f"torn write surfaced at {path}")
+            if durable:
+                os.fsync(fh.fileno())
         os.replace(tmp, path)
+        if durable:
+            _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)

@@ -1,0 +1,188 @@
+"""Tests for the deterministic fault-injection machinery: spec/plan
+validation and transport, firing schedules (start/times), cross-process
+budgets via token files, environment propagation, and the chaos
+scenario builders."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.faults import (
+    ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    available_scenarios,
+    build_scenario,
+    clear_plan,
+    fault_point,
+    injected_faults,
+    install_plan,
+    site_calls,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec("a.site")
+        assert spec.mode == "raise" and spec.times == 1 and spec.start == 0
+
+    def test_round_trip(self):
+        spec = FaultSpec("a.site", mode="hang", times=3, start=2, delay=0.5)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec("")
+        with pytest.raises(ValueError, match="mode"):
+            FaultSpec("a.site", mode="explode")
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec("a.site", times=0)
+        with pytest.raises(ValueError, match="start"):
+            FaultSpec("a.site", start=-1)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault fields"):
+            FaultSpec.from_dict({"site": "a.site", "when": "later"})
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            faults=(FaultSpec("a", times=2), FaultSpec("b", mode="kill")),
+            seed=7,
+            token_dir="/tmp/tokens",
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_sites_sorted_unique(self):
+        plan = FaultPlan(faults=(FaultSpec("b"), FaultSpec("a"), FaultSpec("b")))
+        assert plan.sites() == ["a", "b"]
+
+
+class TestFaultPoint:
+    def test_no_plan_is_inert(self):
+        assert fault_point("nothing.here") is None
+
+    def test_raise_mode_fires_then_exhausts(self):
+        install_plan(FaultPlan(faults=(FaultSpec("t.site", times=2),)))
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                fault_point("t.site")
+        assert fault_point("t.site") is None  # budget spent
+
+    def test_start_skips_early_invocations(self):
+        install_plan(FaultPlan(faults=(FaultSpec("t.site", start=2),)))
+        assert fault_point("t.site") is None
+        assert fault_point("t.site") is None
+        with pytest.raises(InjectedFault):
+            fault_point("t.site")
+
+    def test_context_lands_in_message(self):
+        install_plan(FaultPlan(faults=(FaultSpec("t.site"),)))
+        with pytest.raises(InjectedFault, match="digest=abc"):
+            fault_point("t.site", digest="abc")
+
+    def test_site_calls_counted(self):
+        install_plan(FaultPlan(faults=(FaultSpec("other.site"),)))
+        fault_point("t.site")
+        fault_point("t.site")
+        assert site_calls("t.site") == 2
+
+    def test_injected_faults_context_manager_clears(self):
+        with injected_faults(FaultPlan(faults=(FaultSpec("t.site"),))):
+            assert active_plan() is not None
+            assert os.environ.get(ENV_VAR)
+        assert active_plan() is None
+        assert ENV_VAR not in os.environ
+
+    def test_hang_mode_sleeps_and_returns_spec(self):
+        install_plan(FaultPlan(faults=(FaultSpec("t.site", mode="hang", delay=0.01),)))
+        fired = fault_point("t.site")
+        assert fired is not None and fired.mode == "hang"
+
+    def test_token_dir_budget_shared(self, tmp_path):
+        plan = FaultPlan(
+            faults=(FaultSpec("t.site", times=1),), token_dir=str(tmp_path)
+        )
+        install_plan(plan)
+        with pytest.raises(InjectedFault):
+            fault_point("t.site")
+        # Same plan "in another process": counters reset, tokens persist.
+        install_plan(plan)
+        assert fault_point("t.site") is None
+
+    def test_token_dir_start_is_global(self, tmp_path):
+        plan = FaultPlan(
+            faults=(FaultSpec("t.site", start=1),), token_dir=str(tmp_path)
+        )
+        install_plan(plan)
+        assert fault_point("t.site") is None  # global invocation 0
+        # A "different process" reaches the site next: its first local
+        # call claims global index 1 and must fire.
+        install_plan(plan)
+        with pytest.raises(InjectedFault):
+            fault_point("t.site")
+
+
+class TestEnvPropagation:
+    def test_child_process_inherits_plan(self):
+        install_plan(FaultPlan(faults=(FaultSpec("child.site"),)))
+        code = (
+            "from repro.faults import fault_point, InjectedFault\n"
+            "try:\n"
+            "    fault_point('child.site')\n"
+            "except InjectedFault:\n"
+            "    print('FIRED')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=os.environ.copy(),
+        )
+        assert "FIRED" in out.stdout
+
+    def test_malformed_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        assert active_plan() is None
+        assert fault_point("any.site") is None
+
+    def test_no_propagate_keeps_env_clean(self):
+        install_plan(FaultPlan(faults=(FaultSpec("t.site"),)), propagate=False)
+        assert ENV_VAR not in os.environ
+
+
+class TestScenarios:
+    def test_catalog_non_empty(self):
+        names = available_scenarios()
+        assert "chaos-smoke" in names and "worker-kill" in names
+
+    def test_deterministic_per_seed(self):
+        a = build_scenario("chaos-smoke", seed=3)
+        b = build_scenario("chaos-smoke", seed=3)
+        assert a.faults == b.faults
+
+    def test_seed_moves_fault_placement(self):
+        starts = {
+            build_scenario("worker-kill", seed=s).faults[0].start for s in range(20)
+        }
+        assert len(starts) > 1
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario("nope")
+
+    def test_token_dir_threaded_through(self, tmp_path):
+        plan = build_scenario("torn-write", seed=0, token_dir=str(tmp_path))
+        assert plan.token_dir == str(tmp_path)
+        assert json.loads(plan.to_json())["token_dir"] == str(tmp_path)

@@ -225,3 +225,111 @@ class TestDedupeOverHTTP:
         assert metrics["store"]["hits"] >= 4
         assert metrics["latency"]["cold"]["count"] >= 1
         assert metrics["latency"]["warm"]["count"] >= 1
+
+
+def _post_raw(base, data, headers=None):
+    """POST raw bytes; (status, parsed body, response headers)."""
+    request = urllib.request.Request(
+        base + "/jobs", data=data,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read()), resp.headers
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read()), err.headers
+
+
+class TestBackpressure:
+    def test_closed_queue_is_503_with_retry_after(self):
+        from repro.service.http import start_in_thread as _start
+
+        queue = JobQueue(workers=1, graph_loader=lambda ref: None)
+        server, thread = _start(queue)
+        base = "http://{}:{}".format(*server.server_address[:2])
+        queue.close()
+        try:
+            status, payload, headers = _post_raw(
+                base, json.dumps(JOB_BODY).encode()
+            )
+            assert status == 503
+            assert headers["Retry-After"] is not None
+            assert int(headers["Retry-After"]) > 0
+            assert "closed" in payload["error"]
+        finally:
+            server.shutdown()
+            thread.join(30)
+
+    def test_saturated_queue_is_503_with_retry_after(self):
+        import threading as _threading
+
+        from repro.service.http import start_in_thread as _start
+
+        release = _threading.Event()
+
+        def stalled_executor(spec, *, store=None, jobs=None, graph_loader=None):
+            release.wait(30)
+            from repro.analytics.grid import SweepTable
+            from repro.service.jobs import JobResult
+
+            return JobResult(spec=spec, table=SweepTable([]), perf={})
+
+        queue = JobQueue(workers=1, executor=stalled_executor, max_queued=1)
+        server, thread = _start(queue)
+        base = "http://{}:{}".format(*server.server_address[:2])
+        try:
+            body = dict(JOB_BODY)
+            _post_raw(base, json.dumps(body).encode())  # occupies the worker
+            body["seeds"] = [1]
+            _post_raw(base, json.dumps(body).encode())  # fills the queue
+            body["seeds"] = [2]
+            status, payload, headers = _post_raw(base, json.dumps(body).encode())
+            assert status == 503
+            assert int(headers["Retry-After"]) > 0
+            assert "saturated" in payload["error"]
+        finally:
+            release.set()
+            server.shutdown()
+            thread.join(30)
+            queue.close()
+
+
+class TestMalformedBodies:
+    def test_missing_content_length_400(self, service):
+        base, _ = service
+        status, payload, _ = _post_raw(base, b"")
+        assert status == 400
+        assert "body" in payload["error"]
+
+    def test_non_numeric_content_length_400(self, service):
+        base, _ = service
+        import http.client
+
+        host, port = base.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            conn.putrequest("POST", "/jobs")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", "banana")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+        finally:
+            conn.close()
+
+    def test_oversized_body_400(self, service):
+        base, _ = service
+        blob = b'{"graph": "' + b"x" * (1 << 20) + b'", "schemes": ["u"]}'
+        status, payload, _ = _post_raw(base, blob)
+        assert status == 400
+
+    def test_invalid_utf8_400(self, service):
+        base, _ = service
+        status, payload, _ = _post_raw(base, b'{"graph": "\xff\xfe"}')
+        assert status == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_json_non_object_400(self, service):
+        base, _ = service
+        status, payload, _ = _post_raw(base, b'["not", "an", "object"]')
+        assert status == 400

@@ -2,13 +2,22 @@
 concurrent submission, failure retry, shutdown."""
 
 import threading
+import time
 
 import pytest
 
 from repro.graphs import generators as gen
 from repro.runner.store import ArtifactStore
 from repro.service.jobs import JobResult, JobSpec
-from repro.service.queue import DONE, FAILED, QUEUED, RUNNING, JobQueue
+from repro.service.queue import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobQueue,
+    QueueClosed,
+    QueueSaturated,
+)
 
 
 @pytest.fixture
@@ -224,3 +233,141 @@ class TestShutdown:
         q = JobQueue(workers=1, graph_loader=loader)
         q.close()
         q.close()
+
+
+class TestRetryPolicy:
+    def test_failed_job_retries_to_success(self, graph, tmp_path):
+        attempts = []
+
+        def flaky_loader(ref):
+            attempts.append(ref)
+            if len(attempts) == 1:
+                raise OSError("transient load failure")
+            return graph
+
+        with JobQueue(
+            tmp_path / "store", workers=1, graph_loader=flaky_loader,
+            max_attempts=3, backoff_base=0.01,
+        ) as q:
+            record = q.submit(_spec())
+            assert record.wait(60) and record.state == DONE
+            assert record.attempts == 2
+            assert record.summary()["attempts"] == 2
+
+    def test_attempts_exhausted_fails(self):
+        gate = _GatedExecutor(fail=True)
+        gate.release.set()
+        with JobQueue(
+            workers=1, executor=gate, max_attempts=2, backoff_base=0.01
+        ) as q:
+            record = q.submit(_spec())
+            assert record.wait(30) and record.state == FAILED
+            assert record.attempts == 2 and gate.calls == 2
+            assert "synthetic job failure" in record.error
+
+    def test_default_is_single_attempt(self):
+        gate = _GatedExecutor(fail=True)
+        gate.release.set()
+        with JobQueue(workers=1, executor=gate) as q:
+            record = q.submit(_spec())
+            assert record.wait(30) and record.state == FAILED
+            assert record.attempts == 1 and gate.calls == 1
+
+    def test_retry_counter_in_metrics(self):
+        gate = _GatedExecutor(fail=True)
+        gate.release.set()
+        with JobQueue(
+            workers=1, executor=gate, max_attempts=2, backoff_base=0.01
+        ) as q:
+            before = q.stats()["metrics"]["repro.queue.retries"]["value"]
+            record = q.submit(_spec())
+            assert record.wait(30)
+            after = q.stats()["metrics"]["repro.queue.retries"]["value"]
+            assert after == before + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            JobQueue(max_attempts=0)
+        with pytest.raises(ValueError, match="job_timeout"):
+            JobQueue(job_timeout=0)
+        with pytest.raises(ValueError, match="max_queued"):
+            JobQueue(max_queued=0)
+
+
+class TestJobTimeout:
+    def test_queued_past_deadline_never_starts(self):
+        gate = _GatedExecutor()
+        q = JobQueue(workers=1, executor=gate, job_timeout=0.2)
+        try:
+            running = q.submit(_spec())
+            assert gate.started.wait(30)
+            stuck = q.submit(_spec(seeds=[1]))
+            time.sleep(0.4)  # let the deadline lapse while it waits
+            gate.release.set()
+            assert stuck.wait(30) and stuck.state == FAILED
+            assert "timed out" in stuck.error and stuck.attempts == 0
+            assert running.wait(30) and running.state == DONE
+        finally:
+            gate.release.set()
+            q.close()
+
+    def test_failing_job_past_deadline_stops_retrying(self):
+        gate = _GatedExecutor(fail=True)
+        gate.release.set()
+        with JobQueue(
+            workers=1, executor=gate, max_attempts=10,
+            backoff_base=0.3, job_timeout=0.2,
+        ) as q:
+            record = q.submit(_spec())
+            assert record.wait(30) and record.state == FAILED
+            assert "timed out" in record.error
+            assert record.attempts < 10
+
+
+class TestSaturation:
+    def test_max_queued_rejects_with_saturated(self):
+        gate = _GatedExecutor()
+        q = JobQueue(workers=1, executor=gate, max_queued=1)
+        try:
+            running = q.submit(_spec())
+            assert gate.started.wait(30)
+            q.submit(_spec(seeds=[1]))  # fills the single waiting slot
+            with pytest.raises(QueueSaturated, match="saturated"):
+                q.submit(_spec(seeds=[2]))
+            # Coalescing onto in-flight work is still allowed when full.
+            assert q.submit(_spec()) is running
+        finally:
+            gate.release.set()
+            q.close()
+
+    def test_closed_queue_raises_queue_closed(self, loader):
+        q = JobQueue(workers=1, graph_loader=loader)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.submit(_spec())
+
+
+class TestCloseDeadline:
+    def test_close_returns_true_on_clean_shutdown(self, loader):
+        q = JobQueue(workers=2, graph_loader=loader)
+        record = q.submit(_spec())
+        assert q.close(timeout=30) is True
+        assert record.state == DONE
+
+    def test_close_shares_one_deadline_across_workers(self):
+        """Four stuck workers + close(timeout=1) must return in ~1s, not
+        ~4s — the satellite's whole point — and report the dirt."""
+        gate = _GatedExecutor()
+        q = JobQueue(workers=4, executor=gate)
+        records = [q.submit(_spec(seeds=[s])) for s in range(4)]
+        deadline = time.monotonic() + 30
+        while gate.calls < 4 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert gate.calls == 4
+        start = time.monotonic()
+        clean = q.close(timeout=1.0)
+        elapsed = time.monotonic() - start
+        assert clean is False
+        assert elapsed < 3.0  # one shared second, not one per worker
+        gate.release.set()
+        assert q.close(timeout=30) is True  # idempotent re-join, now clean

@@ -204,3 +204,24 @@ class TestGenerationCaching:
         twin = CSRGraph.from_edges(3, [0, 0, 1], [1, 2, 2])
         k3 = store.cell_key(graph_fingerprint(twin), "spanner(k=4)", 0, "pagerank")
         assert k3.digest == k2.digest
+
+
+class TestFaultedApply:
+    def test_faulted_apply_leaves_stream_unchanged(self, g5):
+        from repro.faults import FaultPlan, FaultSpec, InjectedFault, injected_faults
+
+        stream = GraphStream(g5)
+        head_before = stream.head
+        ledger_before = stream.ledger()
+        delta = EdgeDelta.build(inserts=[(2, 4)])
+        plan = FaultPlan(faults=(FaultSpec("stream.apply"),))
+        with injected_faults(plan):
+            with pytest.raises(InjectedFault):
+                stream.apply(delta)
+        # The fault fired before any mutation: same head object, same
+        # ledger — the caller can retry the very same delta.
+        assert stream.head is head_before
+        assert stream.ledger() == ledger_before
+        retried = stream.apply(delta)
+        assert retried.num_edges == g5.num_edges + 1
+        assert stream.generation == 1

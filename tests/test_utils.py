@@ -225,3 +225,58 @@ class TestValidation:
         assert check_in_range(5, 0, 10) == 5
         with pytest.raises(ValueError):
             check_in_range(11, 0, 10)
+
+
+class TestAtomicWrite:
+    def test_round_trip(self, tmp_path):
+        from repro.utils.fileio import atomic_write
+
+        target = tmp_path / "nested" / "out.bin"
+        result = atomic_write(target, lambda fh: fh.write(b"payload"))
+        assert result == target
+        assert target.read_bytes() == b"payload"
+        # No temp droppings left behind.
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        from repro.utils.fileio import atomic_write
+
+        target = tmp_path / "out.bin"
+        atomic_write(target, lambda fh: fh.write(b"original"))
+
+        def explode(fh):
+            fh.write(b"half-written garbage")
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError):
+            atomic_write(target, explode)
+        assert target.read_bytes() == b"original"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_non_durable_still_atomic(self, tmp_path):
+        from repro.utils.fileio import atomic_write
+
+        target = tmp_path / "out.bin"
+        atomic_write(target, lambda fh: fh.write(b"scratch"), durable=False)
+        assert target.read_bytes() == b"scratch"
+
+    def test_torn_write_fault_surfaces_real_torn_file(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec, InjectedFault, injected_faults
+        from repro.utils.fileio import atomic_write
+
+        target = tmp_path / "out.bin"
+        payload = b"0123456789" * 10
+        plan = FaultPlan(
+            faults=(FaultSpec("fileio.atomic_write", mode="torn_write"),)
+        )
+        with injected_faults(plan):
+            with pytest.raises(InjectedFault):
+                atomic_write(target, lambda fh: fh.write(payload))
+        # The tear is *visible*: a truncated file replaced the target,
+        # exactly the corruption readers must tolerate.
+        torn = target.read_bytes()
+        assert 0 < len(torn) < len(payload)
+        assert payload.startswith(torn)
+        # A clean retry heals it.
+        atomic_write(target, lambda fh: fh.write(payload))
+        assert target.read_bytes() == payload
