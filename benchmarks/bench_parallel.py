@@ -1,0 +1,175 @@
+"""Worker graph-delivery benchmark: npz reload vs shared-memory attach.
+
+The historical parallel runner had every pooled worker re-load the graph
+snapshot in its initializer — N workers, N decompressions, N private CSR
+copies.  ``graph_load="shm"`` replaces that with one shared-memory
+segment the workers attach read-only views over.  This benchmark proves
+the two claims that change rides on:
+
+- **load time** — a worker's graph acquisition drops from an npz
+  decompress to an attach-and-slice (target at 1e6 edges: >= 10x);
+- **memory** — aggregate *private* worker memory (USS, from
+  ``/proc/self/smaps_rollup``) stays near one CSR copy total instead of
+  one per worker.  Peak RSS is reported too but is not the assertion:
+  ``ru_maxrss`` charges shared pages to every process that touches them.
+
+Identity is asserted before speed: both modes must produce cell values
+identical to each other (the equality-vs-in-memory guarantee lives in
+``tests/test_runner_shm.py``).
+
+Emits ``BENCH_parallel.json`` with per-mode wall time and per-worker
+``load_seconds`` / ``peak_rss_bytes`` / ``private_bytes`` / ``load_mode``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py           # 1e6 edges
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analytics.session import Session
+from repro.graphs.generators import erdos_renyi
+from repro.runner.harness import write_perf_record
+
+#: Full-mode graph size (edges) — the ISSUE's target scale.
+FULL_EDGES = 1_000_000
+SMOKE_EDGES = 20_000
+
+JOBS = 4
+SCHEMES = ["uniform(p=0.5)", "spanner(k=8)"]
+ALGORITHMS = ["pr", "cc"]
+#: None = each algorithm's default metric plan (pr -> divergences, etc.).
+METRICS = None
+
+
+def _comparable(table):
+    return sorted(
+        (c.scheme, c.algorithm, c.metric, c.value, c.compression_ratio, c.seed)
+        for c in table
+    )
+
+
+def _run_mode(graph, mode: str) -> dict:
+    session = Session(graph, seed=0, jobs=JOBS, graph_load=mode)
+    table = session.grid(SCHEMES, ALGORITHMS, METRICS, seed=0)
+    perf = session.last_grid_perf
+    workers = list(perf["workers"].values())
+    return {
+        "mode": perf["graph_load"],
+        "wall_seconds": perf["wall_seconds"],
+        "workers": workers,
+        "cells": _comparable(table),
+        "load_seconds": [w["load_seconds"] for w in workers],
+        "private_bytes": [w["private_bytes"] for w in workers],
+        "peak_rss_bytes": [w["peak_rss_bytes"] for w in workers],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized graph; skips the >=10x load-ratio assertion "
+        "(attach time is noise-dominated at small sizes)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).parent / "results"),
+        help="directory for BENCH_parallel.json",
+    )
+    args = parser.parse_args(argv)
+
+    edges = SMOKE_EDGES if args.smoke else FULL_EDGES
+    print(f"building ER graph with ~{edges:,} edges ...", flush=True)
+    graph = erdos_renyi(edges // 10, m=edges, seed=42)
+    graph_bytes = sum(
+        arr.nbytes
+        for arr in (
+            graph.edge_src,
+            graph.edge_dst,
+            graph.indptr,
+            graph.indices,
+            graph.arc_edge_ids,
+        )
+    )
+    print(f"graph: n={graph.n:,} m={graph.num_edges:,} csr={graph_bytes/1e6:.1f}MB")
+
+    results = {}
+    for mode in ("npz", "shm"):
+        print(f"running grid with graph_load={mode} ...", flush=True)
+        results[mode] = _run_mode(graph, mode)
+        loads = results[mode]["load_seconds"]
+        print(
+            f"  wall={results[mode]['wall_seconds']:.2f}s  "
+            f"worker load_seconds: min={min(loads):.4f} max={max(loads):.4f}"
+        )
+
+    # -- identity: same cells from both modes --------------------------- #
+    assert results["npz"]["cells"] == results["shm"]["cells"], (
+        "shm-attach grid produced different cell values than npz-reload"
+    )
+
+    npz_load = max(results["npz"]["load_seconds"])
+    shm_load = max(results["shm"]["load_seconds"])
+    ratio = npz_load / shm_load if shm_load > 0 else float("inf")
+
+    uss = {
+        mode: [b for b in results[mode]["private_bytes"] if b is not None]
+        for mode in results
+    }
+    summary = {
+        "edges": graph.num_edges,
+        "n": graph.n,
+        "graph_csr_bytes": graph_bytes,
+        "jobs": JOBS,
+        "smoke": args.smoke,
+        "load_seconds_npz_max": npz_load,
+        "load_seconds_shm_max": shm_load,
+        "load_speedup": ratio,
+        "aggregate_private_bytes_npz": sum(uss["npz"]) if uss["npz"] else None,
+        "aggregate_private_bytes_shm": sum(uss["shm"]) if uss["shm"] else None,
+        "modes": {
+            mode: {k: r[k] for k in ("wall_seconds", "workers")}
+            for mode, r in results.items()
+        },
+    }
+    print(
+        f"\nworker graph load: npz {npz_load:.4f}s vs shm {shm_load:.4f}s "
+        f"({ratio:.0f}x)"
+    )
+    if uss["npz"] and uss["shm"]:
+        agg_npz, agg_shm = sum(uss["npz"]), sum(uss["shm"])
+        print(
+            f"aggregate worker USS: npz {agg_npz/1e6:.0f}MB vs "
+            f"shm {agg_shm/1e6:.0f}MB (graph is {graph_bytes/1e6:.0f}MB)"
+        )
+        if not args.smoke:
+            # One private copy per npz worker vs. shared pages for shm
+            # workers: the shm aggregate must undercut npz by at least
+            # the graph's weight for all but one worker.
+            saved = agg_npz - agg_shm
+            floor = graph_bytes * (JOBS - 2)
+            assert saved >= floor, (
+                f"shm saved only {saved/1e6:.0f}MB of aggregate USS; "
+                f"expected >= {floor/1e6:.0f}MB "
+                f"({JOBS} workers x {graph_bytes/1e6:.0f}MB graph)"
+            )
+    if not args.smoke:
+        assert ratio >= 10, (
+            f"shm attach only {ratio:.1f}x faster than npz reload "
+            f"(npz {npz_load:.4f}s, shm {shm_load:.4f}s); expected >= 10x"
+        )
+
+    path = write_perf_record("parallel", summary, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,9 +58,16 @@ class Window:
             else:
                 self._shm = shared_memory.SharedMemory(name=name)
                 self._owns = False
-            self.buffer = np.ndarray(self.size, dtype=self.dtype, buffer=self._shm.buf)
-            if name is None:
-                self.buffer[:] = 0
+            try:
+                self.buffer = np.ndarray(self.size, dtype=self.dtype, buffer=self._shm.buf)
+                if name is None:
+                    self.buffer[:] = 0
+            except BaseException:
+                # The segment exists (create=True already succeeded) but
+                # the caller will never hold a Window to close() — without
+                # this, a failure here leaks it until reboot.
+                self.close()
+                raise
         else:
             self._owns = True
             self.buffer = np.zeros(self.size, dtype=self.dtype)
@@ -125,11 +132,22 @@ class Window:
     # -- lifecycle ---------------------------------------------------------- #
 
     def close(self) -> None:
-        if self._shm is not None:
-            self._shm.close()
-            if self._owns:
-                self._shm.unlink()
-            self._shm = None
+        """Release the backing segment.  Idempotent: safe on a partially
+        constructed window, after an external unlink, and called twice."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:
+            # A live view (e.g. self.buffer captured in an exception
+            # frame) pins the mapping; it dies with the process.
+            pass
+        if self._owns:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
 
     def __enter__(self) -> "Window":
         return self

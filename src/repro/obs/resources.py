@@ -26,7 +26,7 @@ try:  # pragma: no cover - resource is POSIX-only
 except ImportError:  # pragma: no cover
     _resource = None
 
-__all__ = ["peak_rss_bytes", "cpu_seconds", "sample_resources"]
+__all__ = ["peak_rss_bytes", "private_bytes", "cpu_seconds", "sample_resources"]
 
 
 def peak_rss_bytes() -> int:
@@ -41,6 +41,28 @@ def peak_rss_bytes() -> int:
     if sys.platform == "darwin":
         return int(peak)
     return int(peak) * 1024
+
+
+def private_bytes() -> int | None:
+    """Private (unshared) resident memory of this process, in bytes.
+
+    ``ru_maxrss`` counts *shared* pages in every process that maps them,
+    so N workers reading one shared-memory graph all report the full
+    graph in their peak RSS — useless for proving the zero-copy win.
+    This is the USS (``Private_Clean + Private_Dirty`` from
+    ``/proc/self/smaps_rollup``): memory attributable to this process
+    alone, which a shared mapping does **not** inflate.  Returns ``None``
+    where the rollup is unavailable (non-Linux, hardened /proc).
+    """
+    try:
+        with open("/proc/self/smaps_rollup", "rb") as fh:
+            total = 0
+            for line in fh:
+                if line.startswith(b"Private_"):
+                    total += int(line.split()[1])  # kB
+        return total * 1024
+    except (OSError, ValueError, IndexError):
+        return None
 
 
 def cpu_seconds() -> float:
@@ -74,6 +96,9 @@ def sample_resources() -> dict:
         "cpu_system_seconds": times.system,
         "gc": _gc_stats(),
     }
+    uss = private_bytes()
+    if uss is not None:
+        out["private_bytes"] = uss
     if tracemalloc.is_tracing():
         current, peak = tracemalloc.get_traced_memory()
         out["tracemalloc_current_bytes"] = current

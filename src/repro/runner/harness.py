@@ -132,6 +132,7 @@ def run_sweep(
     seeds=None,
     graphs=None,
     graph_loader=None,
+    graph_load: str | None = None,
 ) -> SweepResult:
     """Execute a sweep (by name or :class:`SweepSpec`), resumably.
 
@@ -155,6 +156,10 @@ def run_sweep(
         ``name -> CSRGraph`` override replacing the default
         :func:`repro.graphs.datasets.load` (benchmark fixtures pass their
         session-scoped cache here).
+    graph_load:
+        Worker graph-delivery mode for pooled grids (``"auto"``/``"shm"``/
+        ``"npz"``/``"mmap"`` — :mod:`repro.runner.parallel`); the BENCH
+        record's per-worker stats carry the mode each worker used.
 
     Returns a :class:`SweepResult` whose table spans every (graph, seed)
     grid, with each cell's ``graph`` column filled in.
@@ -192,7 +197,8 @@ def run_sweep(
         for graph_name in spec.graphs:
             job = JobSpec.from_sweep(spec, graph_name)
             result = execute_job(
-                job, store=store, jobs=jobs, graph_loader=loader, retry=retry
+                job, store=store, jobs=jobs, graph_loader=loader, retry=retry,
+                graph_load=graph_load,
             )
             cells.extend(result.table)
             grids.extend(result.perf["grids"])
@@ -212,6 +218,7 @@ def run_sweep(
     perf = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "jobs": jobs or 1,
+        "graph_load": graph_load or "auto",
         "store": None if store is None else str(store.root),
         "graphs": list(spec.graphs),
         "seeds": list(spec.seeds),

@@ -11,10 +11,27 @@ algorithm) cell group**, and executes the tasks
   ``ProcessPoolExecutor`` (``jobs > 1``), streaming completed cells back
   as workers finish and writing each straight into the store.
 
-Worker processes never receive the graph over the pipe: the parent
-snapshots it once (:mod:`repro.graphs.snapshot` — into the store keyed by
-fingerprint, or a temp directory when no store is configured) and each
-worker loads the snapshot in its initializer.  Every worker keeps its own
+Worker processes never receive the graph over the pipe.  How they get it
+is the session's ``graph_load`` mode:
+
+- ``"shm"`` (and the ``"auto"`` default): the parent publishes the CSR
+  arrays once into a shared-memory segment (:mod:`repro.runner.shm`) and
+  workers attach read-only views in their initializer — zero-copy, near
+  zero load time, aggregate memory ≈ one CSR no matter the pool width.
+  ``"auto"`` falls back to ``"npz"`` when shared memory is unavailable
+  (the perf record notes the fallback).
+- ``"npz"``: the historical path — the parent snapshots the graph
+  (:mod:`repro.graphs.snapshot` — into the store keyed by fingerprint,
+  or a temp directory when no store is configured) and each worker
+  decompresses the snapshot into private memory.
+- ``"mmap"``: the parent writes the *exploded* (v2) snapshot layout and
+  workers memory-map it read-only — out-of-core operation for graphs
+  bigger than RAM (see also :mod:`repro.runner.shards`).
+
+The shared segment is a pool-lifetime resource: pool rebuilds after a
+dead worker re-attach from the same manifest, and the parent unlinks it
+in the scheduler's ``finally`` — a crashed sweep never leaks a segment.
+Every worker keeps its own
 :class:`~repro.analytics.session.Session`, so original-graph baselines
 are computed at most once per algorithm per worker and compressions at
 most once per (scheme, seed) per worker — the same deduplication the
@@ -72,7 +89,7 @@ from repro.faults.plan import fault_point
 from repro.graphs.analysis import analysis_cache, stats_delta
 from repro.metrics.registry import resolve_metric
 from repro.obs.metrics import counter
-from repro.obs.resources import peak_rss_bytes
+from repro.obs.resources import peak_rss_bytes, private_bytes
 from repro.obs.spans import (
     current_span_id,
     enable_tracing,
@@ -82,7 +99,11 @@ from repro.obs.spans import (
 )
 from repro.utils.timer import stopwatch, timed_call
 
-__all__ = ["run_grid", "CellTask", "RetryPolicy", "FailedCell"]
+__all__ = ["run_grid", "CellTask", "RetryPolicy", "FailedCell", "GRAPH_LOAD_MODES"]
+
+#: Worker graph-delivery modes a session may request (``"auto"`` picks
+#: shared memory and falls back to the npz snapshot).
+GRAPH_LOAD_MODES = ("auto", "shm", "npz", "mmap")
 
 
 @dataclass(frozen=True)
@@ -180,9 +201,26 @@ class CellTask:
 _WORKER: dict = {}
 
 
-def _init_worker(snapshot_path: str, session_kwargs: dict, trace: bool = False) -> None:
-    from repro.analytics.session import Session
+def _load_worker_graph(graph_ref: dict):
+    """Materialize the parent's graph from its transport reference.
+
+    ``graph_ref["mode"]`` selects the delivery: ``"shm"`` attaches
+    read-only views over the parent's shared segment (zero copy),
+    ``"mmap"`` memory-maps an exploded snapshot (out-of-core), ``"npz"``
+    decompresses the classic snapshot into private memory.
+    """
+    mode = graph_ref["mode"]
+    if mode == "shm":
+        from repro.runner.shm import attach_graph
+
+        return attach_graph(graph_ref["manifest"])
     from repro.graphs.snapshot import load_snapshot
+
+    return load_snapshot(graph_ref["path"], mmap=(mode == "mmap"))
+
+
+def _init_worker(graph_ref: dict, session_kwargs: dict, trace: bool = False) -> None:
+    from repro.analytics.session import Session
 
     # Under the fork start method the child inherits the parent tracer's
     # finished spans; drop them or they would ship back as duplicates.
@@ -191,12 +229,19 @@ def _init_worker(snapshot_path: str, session_kwargs: dict, trace: bool = False) 
         # The parent traced this sweep; this worker records its own spans
         # and ships them back with each cell result (see _worker_cell).
         enable_tracing()
-    with span("worker.load_snapshot", path=str(snapshot_path)):
+    # Historical span name: this is the worker's graph-acquisition step,
+    # whatever the mode (the obs contract keys on the name).
+    with span(
+        "worker.load_snapshot",
+        mode=graph_ref["mode"],
+        ref=graph_ref.get("path") or graph_ref.get("manifest", {}).get("segment"),
+    ):
         with stopwatch() as sw:
-            graph = load_snapshot(snapshot_path)
+            graph = _load_worker_graph(graph_ref)
     _WORKER["session"] = Session(graph, **session_kwargs)
     _WORKER["runs"] = {}
     _WORKER["load_seconds"] = sw.seconds
+    _WORKER["load_mode"] = graph_ref["mode"]
 
 
 def _worker_cell(task: dict) -> tuple[dict, list[dict], dict]:
@@ -215,7 +260,12 @@ def _worker_cell(task: dict) -> tuple[dict, list[dict], dict]:
     perf["worker"] = {
         "pid": os.getpid(),
         "load_seconds": _WORKER.get("load_seconds", 0.0),
+        "load_mode": _WORKER.get("load_mode", "npz"),
         "peak_rss_bytes": peak_rss_bytes(),
+        # USS: memory private to this worker.  Shared-memory graph pages
+        # inflate peak_rss_bytes in every attacher but not this number —
+        # it is what proves "aggregate RSS ≈ one copy".
+        "private_bytes": private_bytes(),
     }
     if tracing_enabled():
         perf["spans"] = tracer().drain()
@@ -226,10 +276,12 @@ def _compute_cell(session, runs: dict, task: dict) -> tuple[list[dict], dict]:
     """Execute one task against ``session`` (worker or parent process).
 
     ``runs`` holds the current (scheme, seed) compression so consecutive
-    same-scheme tasks share it; it is evicted on scheme change, bounding
-    peak memory to one compressed graph per process (tasks are submitted
-    scheme-major, so in practice each compression still runs once).
-    Baselines dedupe through the session's own cache.
+    same-key tasks share it; it is evicted whenever the ``(scheme, seed)``
+    key changes — a new seed of the same scheme evicts too — bounding
+    peak memory to one compressed graph per process.  Tasks are submitted
+    scheme-major (seeds grouped within a scheme), so each (scheme, seed)
+    compression still runs exactly once per process.  Baselines dedupe
+    through the session's own cache.
     """
     fault_point(
         "runner.compute_cell", scheme=task["scheme"], algorithm=task["algorithm"]
@@ -366,7 +418,9 @@ def run_grid(session, built, runners, plans, *, seed):
                     {
                         "pid": worker["pid"],
                         "load_seconds": worker["load_seconds"],
+                        "load_mode": worker.get("load_mode", "npz"),
                         "peak_rss_bytes": 0,
+                        "private_bytes": None,
                         "cells": 0,
                     },
                 )
@@ -374,6 +428,9 @@ def run_grid(session, built, runners, plans, *, seed):
                 slot["peak_rss_bytes"] = max(
                     slot["peak_rss_bytes"], worker["peak_rss_bytes"]
                 )
+                uss = worker.get("private_bytes")
+                if uss is not None:
+                    slot["private_bytes"] = max(slot["private_bytes"] or 0, uss)
             if store is not None:
                 key = store.cell_key(
                     fingerprint, task.scheme, task.seed, task.algorithm, task.metrics
@@ -468,26 +525,67 @@ def _run_pool(
     per-task timeout (hung worker, killed here) rebuilds it and requeues
     the in-flight tasks, and tasks out of attempts are quarantined.
     """
-    tmpdir = None
-    if store is not None:
+    tmpdir: str | None = None
+    shared = None
+    mode = getattr(session, "graph_load", "auto") or "auto"
+
+    def _durably(write):
         # The snapshot is the one write the sweep cannot proceed without,
         # so transient failures retry (a torn/damaged file is rewritten —
         # add_graph validates existing snapshots) and exhaustion raises.
         for attempt in range(1, retry.max_attempts + 1):
             try:
-                _, snapshot_path = store.add_graph(session.graph, fingerprint)
-                break
+                return write()
             except Exception:  # noqa: BLE001 — flaky disks throw anything
                 if attempt >= retry.max_attempts:
                     raise
                 perf["store_write_retries"] += 1
                 counter("repro.runner.store_write_retries").inc()
                 time.sleep(retry.backoff(attempt, rng))
-    else:
-        from repro.graphs.snapshot import save_snapshot
 
-        tmpdir = tempfile.mkdtemp(prefix="repro-grid-")
-        snapshot_path = save_snapshot(session.graph, Path(tmpdir) / "graph.npz")
+    if mode in ("auto", "shm"):
+        from repro.runner.shm import SharedGraph
+
+        try:
+            shared = SharedGraph(session.graph, fingerprint=fingerprint)
+        except Exception as err:  # noqa: BLE001 — /dev/shm full, cgroup caps…
+            if mode == "shm":
+                raise
+            perf["graph_load_fallback"] = f"{type(err).__name__}: {err}"
+            mode = "npz"
+        else:
+            mode = "shm"
+            graph_ref = {"mode": "shm", "manifest": shared.manifest}
+            perf["shm_segment"] = shared.name
+            if store is not None:
+                # Workers never read it, but the store's durable copy
+                # still backs warm replays and shard cutting.
+                _durably(lambda: store.add_graph(session.graph, fingerprint))
+    if mode == "npz":
+        if store is not None:
+            _, snapshot_path = _durably(
+                lambda: store.add_graph(session.graph, fingerprint)
+            )
+        else:
+            from repro.graphs.snapshot import save_snapshot
+
+            tmpdir = tempfile.mkdtemp(prefix="repro-grid-")
+            snapshot_path = save_snapshot(session.graph, Path(tmpdir) / "graph.npz")
+        graph_ref = {"mode": "npz", "path": str(snapshot_path)}
+    elif mode == "mmap":
+        if store is not None:
+            _, snapshot_path = _durably(
+                lambda: store.add_graph_exploded(session.graph, fingerprint)
+            )
+        else:
+            from repro.graphs.snapshot import save_snapshot
+
+            tmpdir = tempfile.mkdtemp(prefix="repro-grid-")
+            snapshot_path = save_snapshot(
+                session.graph, Path(tmpdir) / "graph.snap", layout="exploded"
+            )
+        graph_ref = {"mode": "mmap", "path": str(snapshot_path)}
+    perf["graph_load"] = mode
     session_kwargs = {
         "seed": session.seed,
         "backend": session.backend,
@@ -500,7 +598,7 @@ def _run_pool(
         return ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_worker,
-            initargs=(str(snapshot_path), session_kwargs, tracing_enabled()),
+            initargs=(graph_ref, session_kwargs, tracing_enabled()),
         )
 
     pool: ProcessPoolExecutor | None = None
@@ -629,6 +727,10 @@ def _run_pool(
                         fail_or_requeue(task, None, charge=False)
     finally:
         shutdown_pool()
+        if shared is not None:
+            # Unlink exactly once, crash or not: workers are gone (their
+            # mappings died with them), so the segment is freed here.
+            shared.close()
         if tmpdir is not None:
             shutil.rmtree(tmpdir, ignore_errors=True)
 

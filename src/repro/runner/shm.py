@@ -1,0 +1,249 @@
+"""Zero-copy publication of CSR graphs over POSIX shared memory.
+
+The sweep runner's worker processes used to re-load the graph from its
+NPZ snapshot in their initializer — N workers, N private copies of every
+CSR array.  This module cashes in the immutable-graph contract instead:
+the parent packs all of a :class:`~repro.graphs.csr.CSRGraph`'s arrays
+into **one** ``multiprocessing.shared_memory`` segment and hands workers
+a small JSON-safe *manifest* (segment name + per-array dtype/shape/
+offset + the graph fingerprint); each worker re-assembles the graph as
+read-only views over the mapped buffer via ``CSRGraph._from_parts`` —
+attach-and-slice, no decompression, no copy, aggregate memory ≈ one CSR
+regardless of pool width.
+
+Lifecycle discipline (mirrors :mod:`repro.distributed.rma`):
+
+- the parent owns the segment: :meth:`SharedGraph.close` is idempotent
+  and both closes and unlinks (``FileNotFoundError`` on a re-unlink is
+  swallowed); construction failure after ``create=True`` cleans up the
+  segment before re-raising, so a failed publish never leaks;
+- workers attach **untracked**: Python's ``resource_tracker`` would
+  otherwise register the attach and unlink the parent's segment when the
+  first worker exits (3.13+ has ``track=False``; older interpreters are
+  handled by unregistering after attach);
+- attached segments are kept alive in a per-process registry for the
+  life of the worker (the graph's arrays are views into them), and the
+  mapping dies with the process — pool rebuilds after a crashed worker
+  simply re-attach from the same manifest.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.snapshot import ARRAY_FIELDS, SnapshotError, validate_parts
+
+__all__ = ["SharedGraph", "attach_graph", "detach_all", "MANIFEST_VERSION"]
+
+#: Version of the manifest dict; bump on layout changes.
+MANIFEST_VERSION = 1
+
+#: Array offsets are rounded up to this many bytes, so every published
+#: array starts cache-line-aligned (harmless for correctness, kind to
+#: vectorized kernels reading across process boundaries).
+_ALIGN = 64
+
+#: name -> SharedMemory for segments this process attached (not created):
+#: the attached graphs' arrays are views into these buffers, so the
+#: segments must stay mapped for the life of the process (or until
+#: :func:`detach_all` in tests).
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption.
+
+    On Python < 3.13 every attach is auto-registered with the (global)
+    resource tracker, which unlinks the segment at tracker shutdown —
+    i.e. the first exiting worker would tear the buffer out from under
+    its siblings and the parent.  The tracker keyes a shared *set*, so
+    unregistering after the fact would also cancel the creator's own
+    registration (and make its later unlink-time unregister a tracked
+    error); instead, registration is suppressed for the duration of the
+    attach, keeping ownership squarely with the creating process.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(rname, rtype):
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedGraph:
+    """One graph published into one shared-memory segment (parent side).
+
+    Usable as a context manager; :attr:`manifest` is the picklable
+    attach recipe for :func:`attach_graph`.  The creating process must
+    call :meth:`close` (idempotent; also unlinks) when the sweep is done
+    — the runner does so in its pool ``finally``.
+    """
+
+    def __init__(self, graph: CSRGraph, *, fingerprint: str | None = None):
+        arrays: list[tuple[str, np.ndarray]] = []
+        for name in ARRAY_FIELDS:
+            arr = getattr(graph, name)
+            if arr is not None:
+                arrays.append((name, np.ascontiguousarray(arr)))
+
+        layout: dict[str, dict] = {}
+        offset = 0
+        for name, arr in arrays:
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up
+            layout[name] = {
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+            }
+            offset += arr.nbytes
+
+        self._shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1)
+        )
+        try:
+            for name, arr in arrays:
+                view = np.ndarray(
+                    arr.shape,
+                    dtype=arr.dtype,
+                    buffer=self._shm.buf,
+                    offset=layout[name]["offset"],
+                )
+                view[...] = arr
+            del view  # a live view would pin the buffer against close()
+        except BaseException:
+            # No unlink on the error path would leak the segment until
+            # reboot (same bug class as the rma.py window fix).
+            self.close()
+            raise
+        self.manifest: dict = {
+            "version": MANIFEST_VERSION,
+            "segment": self._shm.name,
+            "nbytes": max(offset, 1),
+            "fingerprint": fingerprint,
+            "n": graph.n,
+            "directed": graph.directed,
+            "arrays": layout,
+        }
+
+    @property
+    def name(self) -> str | None:
+        """OS name of the segment (None once closed)."""
+        return self._shm.name if self._shm is not None else None
+
+    def close(self) -> None:
+        """Release and unlink the segment.  Idempotent; safe to call on a
+        partially constructed instance and after an external unlink."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # live views; the mapping dies with the process
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = self.name or "closed"
+        return f"SharedGraph({state}, arrays={len(self.manifest['arrays']) if self._shm else 0})"
+
+
+def attach_graph(manifest: dict) -> CSRGraph:
+    """Re-assemble a published graph from its manifest (worker side).
+
+    Returns a :class:`CSRGraph` whose arrays are **read-only views** over
+    the shared segment — zero bytes copied.  The segment stays mapped in
+    this process (registry) so the views outlive the call.  The manifest
+    is validated with the same cross-field checks the snapshot loader
+    applies (:func:`repro.graphs.snapshot.validate_parts`); a manifest
+    the publisher did not produce fails here, not in a kernel.
+
+    Raises :class:`~repro.graphs.snapshot.SnapshotError` on manifest
+    damage and ``FileNotFoundError`` when the segment is gone (publisher
+    already unlinked).
+    """
+    if not isinstance(manifest, dict) or manifest.get("version") != MANIFEST_VERSION:
+        raise SnapshotError(
+            f"unsupported shared-graph manifest (version "
+            f"{manifest.get('version') if isinstance(manifest, dict) else manifest!r}; "
+            f"this build reads {MANIFEST_VERSION})"
+        )
+    name = manifest["segment"]
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = _attach_untracked(name)
+        _ATTACHED[name] = segment
+    source = f"shm:{name}"
+    parts: dict = {}
+    for field, meta in manifest["arrays"].items():
+        shape = tuple(meta["shape"])
+        dtype = np.dtype(meta["dtype"])
+        end = meta["offset"] + dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if meta["offset"] < 0 or end > segment.size:
+            raise SnapshotError(
+                f"{source}: field {field!r} extends past the segment "
+                f"(offset {meta['offset']} + {end - meta['offset']} bytes > "
+                f"{segment.size})"
+            )
+        view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=meta["offset"])
+        view.flags.writeable = False
+        parts[field] = view
+    validate_parts(manifest["n"], manifest["directed"], parts, source=source)
+    graph = CSRGraph._from_parts(
+        manifest["n"],
+        parts["edge_src"],
+        parts["edge_dst"],
+        parts.get("edge_weights"),
+        directed=manifest["directed"],
+        indptr=parts["indptr"],
+        indices=parts["indices"],
+        arc_edge_ids=parts["arc_edge_ids"],
+    )
+    fingerprint = manifest.get("fingerprint")
+    if fingerprint:
+        # Same-content analyses transfer (triangle lists etc.), exactly
+        # as the store's snapshot loader adopts them.
+        from repro.graphs.analysis import analysis_cache
+
+        analysis_cache().adopt(graph, fingerprint)
+    return graph
+
+
+def detach_all() -> int:
+    """Close every segment this process attached; returns the count.
+
+    For tests and long-lived parents that attach (workers just exit).
+    Any graphs built from those segments must already be dead — live
+    views keep the mapping open (``BufferError`` is swallowed and the
+    segment is dropped from the registry regardless).
+    """
+    count = 0
+    for name, segment in list(_ATTACHED.items()):
+        try:
+            segment.close()
+        except BufferError:
+            pass
+        _ATTACHED.pop(name, None)
+        count += 1
+    return count

@@ -50,6 +50,8 @@ from repro.algorithms.spec import AlgorithmSpec
 from repro.compress.spec import SchemeSpec
 from repro.graphs.csr import CSRGraph
 from repro.graphs.snapshot import (
+    EXPLODED_SNAPSHOT_VERSION,
+    HEADER_NAME,
     SNAPSHOT_VERSION,
     SnapshotError,
     load_snapshot,
@@ -359,6 +361,27 @@ class ArtifactStore:
             save_snapshot(g, path)
         return fingerprint, path
 
+    def add_graph_exploded(
+        self, g: CSRGraph, fingerprint: str | None = None
+    ) -> tuple[str, Path]:
+        """Store ``g`` in the exploded (v2) layout; (fingerprint, path).
+
+        The exploded snapshot — a ``graphs/<fingerprint>.snap/`` directory
+        of raw ``.npy`` sidecars plus a header — is the one layout
+        ``load_snapshot(..., mmap=True)`` can memory-map, so this is what
+        out-of-core (``graph_load="mmap"``) sweeps and shard sets read.
+        Idempotent with the same damage-is-a-miss contract as
+        :meth:`add_graph`: an unreadable directory is rewritten.
+        """
+        if fingerprint is None:
+            from repro.runner.fingerprint import graph_fingerprint
+
+            fingerprint = graph_fingerprint(g)
+        path = self.root / "graphs" / f"{fingerprint}.snap"
+        if not _exploded_readable(path):
+            save_snapshot(g, path, layout="exploded")
+        return fingerprint, path
+
     def load_graph(self, fingerprint: str) -> CSRGraph | None:
         """Reload a stored graph snapshot; damaged snapshots read as None.
 
@@ -391,4 +414,18 @@ def _snapshot_readable(path: Path) -> bool:
         with np.load(path) as data:
             return int(data["version"]) == SNAPSHOT_VERSION
     except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        return False
+
+
+def _exploded_readable(path: Path) -> bool:
+    """Header-only probe of an exploded (v2) snapshot directory.
+
+    The header is written last (after every sidecar is durable), so a
+    parseable header of the right version implies a complete write; any
+    sidecar damage is still caught by the loader's per-array checks.
+    """
+    try:
+        header = json.loads((path / HEADER_NAME).read_text())
+        return int(header.get("version", -1)) == EXPLODED_SNAPSHOT_VERSION
+    except (OSError, ValueError, KeyError):
         return False

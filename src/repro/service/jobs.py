@@ -267,8 +267,9 @@ class JobResult:
 def merge_worker_stats(total: dict, delta: dict | None) -> None:
     """Fold one grid's pid-keyed worker stats into a running total.
 
-    Cells sum; peak RSS takes the max (it is a lifetime high-water mark);
-    the snapshot load time is per-process and kept from first sight.
+    Cells sum; peak RSS and private (USS) bytes take the max (lifetime
+    high-water marks); the graph load time and mode are per-process and
+    kept from first sight.
     """
     if not delta:
         return
@@ -281,6 +282,9 @@ def merge_worker_stats(total: dict, delta: dict | None) -> None:
             slot["peak_rss_bytes"] = max(
                 slot["peak_rss_bytes"], stats.get("peak_rss_bytes", 0)
             )
+            uss = stats.get("private_bytes")
+            if uss is not None:
+                slot["private_bytes"] = max(slot.get("private_bytes") or 0, uss)
 
 
 def load_job_graph(job: JobSpec, *, store=None, graph_loader=None):
@@ -312,7 +316,7 @@ def load_job_graph(job: JobSpec, *, store=None, graph_loader=None):
 
 def execute_job(
     job: JobSpec, *, store=None, jobs: int | None = None, graph_loader=None,
-    retry=None,
+    retry=None, graph_load: str | None = None,
 ) -> JobResult:
     """Run one job to completion — the scheduler all front-ends share.
 
@@ -320,7 +324,9 @@ def execute_job(
     :class:`~repro.analytics.session.Session` does; cells already stored
     replay with zero recomputation.  ``retry`` (a
     :class:`~repro.runner.parallel.RetryPolicy` or dict) sets the grid's
-    fault-tolerance policy.  The returned perf dict carries the same
+    fault-tolerance policy; ``graph_load`` selects how pooled workers
+    obtain the graph (``"auto"``/``"shm"``/``"npz"``/``"mmap"`` — see
+    :mod:`repro.runner.parallel`).  The returned perf dict carries the same
     counter names the BENCH records and the harness totals use
     (``cells_scheduled``, ``cache_hits``/``cache_misses``,
     ``compress_seconds``, ``analysis_hits``/``analysis_misses``,
@@ -343,6 +349,7 @@ def execute_job(
         store=store,
         jobs=jobs,
         retry=retry,
+        graph_load=graph_load or "auto",
     )
     cells = []
     grids = []

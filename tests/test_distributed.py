@@ -102,6 +102,59 @@ class TestWindow:
             assert attached.get(0, 8).tolist() == [1] * 8
             attached._shm.close()
 
+    def test_failed_construction_leaves_no_segment(self, monkeypatch):
+        # create=True succeeds, then the ndarray wrap blows up: without
+        # cleanup the segment would outlive the process (nothing holds a
+        # Window to close), leaking /dev/shm until reboot.
+        from multiprocessing import shared_memory
+
+        from repro.distributed import rma as rma_mod
+
+        created: list[str] = []
+        real = shared_memory.SharedMemory
+
+        class Recording(real):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                if kwargs.get("create"):
+                    created.append(self.name)
+
+        class ExplodingNumpy:
+            def __getattr__(self, name):
+                return getattr(np, name)
+
+            @staticmethod
+            def ndarray(*args, **kwargs):
+                raise RuntimeError("simulated wrap failure")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", Recording)
+        monkeypatch.setattr(rma_mod, "np", ExplodingNumpy())
+        with pytest.raises(RuntimeError, match="wrap failure"):
+            Window(8, dtype="uint8", shared=True)
+        monkeypatch.undo()
+        assert created, "test never created a segment"
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                seg = real(name=name)
+                seg.close()  # pragma: no cover — only on leak
+
+    def test_close_is_idempotent(self):
+        win = Window(8, dtype="uint8", shared=True)
+        name = win.name
+        win.close()
+        assert win.name is None
+        win.close()  # second close: no-op, no error
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_survives_external_unlink(self):
+        win = Window(8, dtype="uint8", shared=True)
+        win._shm.unlink()  # e.g. a sibling raced us to cleanup
+        win.close()  # FileNotFoundError swallowed
+        assert win.name is None
+
 
 class TestDistributedEngine:
     def test_rank_count_invariance(self, er300):

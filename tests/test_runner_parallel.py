@@ -151,3 +151,76 @@ class TestSeedPlumbing:
         assert all(c.seed == 2 for c in cells)
         with pytest.raises(ValueError, match="does not apply"):
             session.score_cells(run, "cc", ["kl"])
+
+
+class TestWorkerCompressionCache:
+    """Regression pin for the `_compute_cell` run-cache semantics: the
+    cache holds exactly one (scheme, seed) compression and is evicted on
+    ANY key change — a new seed of the same scheme evicts too.  Under the
+    scheme-major task order the scheduler emits (seeds grouped within a
+    scheme), every (scheme, seed) pair therefore compresses exactly once
+    per process."""
+
+    def _counting(self, session):
+        calls = []
+        real = session.compress
+
+        def compress(scheme, seed=None, **kwargs):
+            calls.append((scheme, seed))
+            return real(scheme, seed=seed, **kwargs)
+
+        session.compress = compress
+        return calls
+
+    def test_one_compression_per_scheme_seed_scheme_major(self, plc300):
+        from repro.runner.parallel import _compute_cell
+
+        session = Session(plc300, seed=1)
+        calls = self._counting(session)
+        runs: dict = {}
+        # Scheme-major with seeds grouped: the order the scheduler emits.
+        for scheme in SCHEMES:
+            for seed in (1, 2):
+                for alg in ("pagerank", "cc"):
+                    task = {
+                        "scheme": scheme,
+                        "seed": seed,
+                        "algorithm": alg,
+                        "metrics": (),
+                    }
+                    _compute_cell(session, runs, task)
+        # 2 schemes x 2 seeds = 4 compressions for 8 tasks; no pair twice.
+        assert len(calls) == len(SCHEMES) * 2
+        assert len(set(calls)) == len(calls)
+        # The cache never grows past the single current compression.
+        assert len(runs) == 1
+
+    def test_seed_change_evicts_like_scheme_change(self, plc300):
+        from repro.runner.parallel import _compute_cell
+
+        session = Session(plc300, seed=1)
+        calls = self._counting(session)
+        runs: dict = {}
+        # Non-grouped order: revisiting a (scheme, seed) after the cache
+        # moved on recompresses — this is the documented (and bounded-
+        # memory) behavior the scheduler's ordering is designed around.
+        order = [(SCHEMES[0], 1), (SCHEMES[0], 2), (SCHEMES[0], 1)]
+        for scheme, seed in order:
+            _compute_cell(
+                session,
+                runs,
+                {"scheme": scheme, "seed": seed, "algorithm": "pagerank",
+                 "metrics": ()},
+            )
+        assert len(calls) == 3
+
+    def test_store_backed_inline_grid_compresses_each_scheme_once(
+        self, plc300, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(plc300, seed=1, store=store)
+        calls = self._counting(session)
+        session.grid(SCHEMES, ["pr", "cc"], seed=1)
+        # 2 schemes x 2 algorithms = 4 tasks, but one compression per
+        # scheme: the run cache carries across same-scheme tasks.
+        assert len(calls) == len(SCHEMES)

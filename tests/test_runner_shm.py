@@ -1,0 +1,266 @@
+"""Shared-memory graph publication tests: zero-copy attach fidelity,
+segment lifecycle (no leaks, even on failure or chaos), load-mode
+equality with the in-memory grid, and the worker-memory win."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.session import Session
+from repro.graphs import generators as gen
+from repro.graphs.snapshot import SnapshotError
+from repro.obs.resources import private_bytes
+from repro.runner import shm as shm_mod
+from repro.runner.fingerprint import graph_fingerprint
+from repro.runner.shm import SharedGraph, _attach_untracked, attach_graph, detach_all
+
+SCHEMES = ["uniform(p=0.5)", "spanner(k=8)"]
+ALGS = ["pr", "cc"]
+
+
+def _comparable(table):
+    return sorted(
+        (c.scheme, c.algorithm, c.metric, c.value, c.compression_ratio, c.seed)
+        for c in table
+    )
+
+
+def _segment_gone(name: str) -> bool:
+    try:
+        seg = _attach_untracked(name)
+    except FileNotFoundError:
+        return True
+    seg.close()
+    return False
+
+
+@pytest.fixture(autouse=True)
+def _detach():
+    yield
+    detach_all()
+
+
+class TestSharedGraph:
+    def test_attach_is_value_identical(self, plc300):
+        with SharedGraph(plc300, fingerprint=graph_fingerprint(plc300)) as shared:
+            attached = attach_graph(shared.manifest)
+            assert graph_fingerprint(attached) == graph_fingerprint(plc300)
+            np.testing.assert_array_equal(attached.edge_src, plc300.edge_src)
+            np.testing.assert_array_equal(attached.indptr, plc300.indptr)
+            attached.validate()
+            del attached
+            detach_all()
+
+    def test_weighted_directed_round_trip(self, tmp_path):
+        from repro.graphs.weights import with_uniform_weights
+
+        g = with_uniform_weights(
+            gen.rmat(6, 4, seed=3, directed=True), 1.0, 5.0, seed=1
+        )
+        with SharedGraph(g) as shared:
+            attached = attach_graph(shared.manifest)
+            assert attached.directed
+            np.testing.assert_array_equal(attached.edge_weights, g.edge_weights)
+            del attached
+            detach_all()
+
+    def test_empty_graph(self):
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.from_edges(3, [], [])
+        with SharedGraph(g) as shared:
+            attached = attach_graph(shared.manifest)
+            assert attached.n == 3 and attached.num_edges == 0
+            del attached
+            detach_all()
+
+    def test_attached_arrays_are_read_only(self, plc300):
+        with SharedGraph(plc300) as shared:
+            attached = attach_graph(shared.manifest)
+            with pytest.raises(ValueError):
+                attached.edge_src[0] = 99
+            with pytest.raises(ValueError):
+                attached.indices[0] = 99
+            del attached
+            detach_all()
+
+    def test_close_unlinks_and_is_idempotent(self, plc300):
+        shared = SharedGraph(plc300)
+        name = shared.name
+        shared.close()
+        assert shared.name is None
+        assert _segment_gone(name)
+        shared.close()  # second close is a no-op, not an error
+
+    def test_failed_construction_leaves_no_segment(self, plc300, monkeypatch):
+        # Record every created segment, then make the copy-in blow up
+        # after create=True succeeded: the regression this guards is a
+        # leaked segment no process can ever unlink.
+        created: list[str] = []
+        real = shm_mod.shared_memory.SharedMemory
+
+        class Recording(real):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                if kwargs.get("create"):
+                    created.append(self.name)
+
+        class ExplodingNumpy:
+            def __getattr__(self, name):
+                return getattr(np, name)
+
+            @staticmethod
+            def ndarray(*args, **kwargs):
+                raise RuntimeError("simulated copy-in failure")
+
+        monkeypatch.setattr(shm_mod.shared_memory, "SharedMemory", Recording)
+        monkeypatch.setattr(shm_mod, "np", ExplodingNumpy())
+        with pytest.raises(RuntimeError, match="copy-in failure"):
+            SharedGraph(plc300)
+        monkeypatch.undo()
+        assert created, "test never created a segment"
+        for name in created:
+            assert _segment_gone(name), f"leaked shared-memory segment {name}"
+
+    def test_manifest_version_checked(self, plc300):
+        with SharedGraph(plc300) as shared:
+            bad = dict(shared.manifest, version=999)
+            with pytest.raises(SnapshotError, match="manifest"):
+                attach_graph(bad)
+
+    def test_manifest_bounds_checked(self, plc300):
+        with SharedGraph(plc300) as shared:
+            bad = dict(shared.manifest)
+            bad["arrays"] = {
+                name: dict(meta) for name, meta in bad["arrays"].items()
+            }
+            bad["arrays"]["indices"]["offset"] = bad["nbytes"]
+            with pytest.raises(SnapshotError, match="indices"):
+                attach_graph(bad)
+            detach_all()
+
+    def test_manifest_cross_field_damage_detected(self, plc300):
+        with SharedGraph(plc300) as shared:
+            bad = dict(shared.manifest)
+            bad["arrays"] = {
+                name: dict(meta) for name, meta in bad["arrays"].items()
+            }
+            bad["arrays"]["indptr"]["shape"] = [3]  # wrong for n vertices
+            with pytest.raises(SnapshotError, match="indptr"):
+                attach_graph(bad)
+            detach_all()
+
+
+class TestGridLoadModes:
+    @pytest.mark.parametrize("mode", ["shm", "npz", "mmap", "auto"])
+    def test_pooled_grid_equals_in_memory(self, plc300, mode):
+        expected = _comparable(Session(plc300, seed=1).grid(SCHEMES, ALGS))
+        session = Session(plc300, seed=1, jobs=2, graph_load=mode)
+        got = _comparable(session.grid(SCHEMES, ALGS))
+        assert got == expected
+        perf = session.last_grid_perf
+        resolved = {"auto": "shm"}.get(mode, mode)
+        assert perf["graph_load"] == resolved
+        assert perf["workers"], "pooled grid reported no worker stats"
+        for worker in perf["workers"].values():
+            assert worker["load_mode"] == resolved
+            assert "load_seconds" in worker and "private_bytes" in worker
+
+    def test_segment_unlinked_after_grid(self, plc300):
+        session = Session(plc300, seed=1, jobs=2, graph_load="shm")
+        session.grid(SCHEMES, ["pr"], ["kl"])
+        name = session.last_grid_perf["shm_segment"]
+        assert _segment_gone(name), f"grid leaked shared-memory segment {name}"
+
+    def test_auto_falls_back_to_npz(self, plc300, monkeypatch):
+        def boom(*args, **kwargs):
+            raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(shm_mod, "SharedGraph", boom)
+        expected = _comparable(Session(plc300, seed=1).grid(SCHEMES, ["pr"], ["kl"]))
+        session = Session(plc300, seed=1, jobs=2, graph_load="auto")
+        got = _comparable(session.grid(SCHEMES, ["pr"], ["kl"]))
+        assert got == expected
+        perf = session.last_grid_perf
+        assert perf["graph_load"] == "npz"
+        assert "no space left" in perf["graph_load_fallback"]
+
+    def test_explicit_shm_mode_raises_instead_of_falling_back(
+        self, plc300, monkeypatch
+    ):
+        def boom(*args, **kwargs):
+            raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(shm_mod, "SharedGraph", boom)
+        session = Session(plc300, seed=1, jobs=2, graph_load="shm")
+        with pytest.raises(OSError, match="no space left"):
+            session.grid(SCHEMES, ["pr"], ["kl"])
+
+    def test_invalid_mode_rejected(self, plc300):
+        with pytest.raises(ValueError, match="graph_load"):
+            Session(plc300, graph_load="carrier-pigeon")
+
+
+@pytest.mark.skipif(
+    private_bytes() is None,
+    reason="USS (smaps_rollup) unavailable on this platform",
+)
+class TestWorkerMemory:
+    def test_shm_workers_share_the_graph_pages(self):
+        # Big enough that one CSR copy dominates USS measurement noise:
+        # ~400k edges is ~20MB of int64 CSR arrays.
+        g = gen.erdos_renyi(40_000, m=400_000, seed=5)
+        graph_bytes = sum(
+            arr.nbytes
+            for arr in (g.edge_src, g.edge_dst, g.indptr, g.indices, g.arc_edge_ids)
+        )
+        uss = {}
+        for mode in ("npz", "shm"):
+            session = Session(g, seed=0, jobs=2, graph_load=mode)
+            session.grid(["uniform(p=0.5)", "uniform(p=0.9)"], ["cc"])
+            workers = session.last_grid_perf["workers"].values()
+            vals = [w["private_bytes"] for w in workers if w["private_bytes"]]
+            assert vals, f"{mode}: no USS samples"
+            uss[mode] = max(vals)
+        # An npz worker holds a private CSR copy; a shm worker maps shared
+        # pages instead.  Demand at least 40% of one copy back — far above
+        # USS jitter, far below the full copy so compression-allocation
+        # noise cannot flake the test.
+        saved = uss["npz"] - uss["shm"]
+        assert saved >= 0.4 * graph_bytes, (
+            f"shm worker USS {uss['shm']/1e6:.1f}MB vs npz "
+            f"{uss['npz']/1e6:.1f}MB — saved {saved/1e6:.1f}MB, expected "
+            f">= {0.4 * graph_bytes/1e6:.1f}MB (graph is {graph_bytes/1e6:.1f}MB)"
+        )
+
+
+class TestChaosWithSharedMemory:
+    def test_killed_worker_recovers_value_identical(self, plc300, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec, clear_plan, install_plan
+
+        expected = _comparable(Session(plc300, seed=1).grid(SCHEMES, ALGS))
+        install_plan(
+            FaultPlan(
+                faults=(FaultSpec("runner.worker_cell", mode="kill", times=1),),
+                token_dir=str(tmp_path / "tok"),
+            )
+        )
+        try:
+            session = Session(
+                plc300,
+                seed=1,
+                store=tmp_path / "store",
+                jobs=2,
+                graph_load="shm",
+                retry={"max_attempts": 4, "backoff_base": 0.01, "jitter": 0.0},
+            )
+            table = session.grid(SCHEMES, ALGS)
+        finally:
+            clear_plan()
+        perf = session.last_grid_perf
+        assert _comparable(table) == expected
+        assert perf["graph_load"] == "shm"
+        assert perf["pool_rebuilds"] >= 1
+        assert perf["failed_cells"] == []
+        # The rebuilt pool re-attached the same manifest; the parent still
+        # unlinked exactly once on the way out.
+        assert _segment_gone(perf["shm_segment"])

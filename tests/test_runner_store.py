@@ -161,6 +161,160 @@ class TestGraphSnapshots:
         assert store.load_graph("0" * 64) is None
 
 
+class TestExplodedSnapshots:
+    """The v2 (directory) layout: mmap-ability, atomicity, damage names."""
+
+    def _assert_same_graph(self, a, b):
+        TestGraphSnapshots._assert_same_graph(self, a, b)
+
+    def test_round_trip(self, plc300, tmp_path):
+        path = save_snapshot(plc300, tmp_path / "g.snap", layout="exploded")
+        assert (path / "header.json").exists()
+        loaded = load_snapshot(path)
+        self._assert_same_graph(plc300, loaded)
+        loaded.validate()
+
+    def test_mmap_round_trip(self, plc300, tmp_path):
+        path = save_snapshot(plc300, tmp_path / "g.snap", layout="exploded")
+        loaded = load_snapshot(path, mmap=True)
+        self._assert_same_graph(plc300, loaded)
+        # mmap-backed and read-only: the paging win without the footgun.
+        assert not loaded.edge_src.flags.writeable
+        with pytest.raises(ValueError):
+            loaded.edge_src[0] = 99
+
+    def test_v1_arrays_are_read_only_too(self, plc300, tmp_path):
+        loaded = load_snapshot(save_snapshot(plc300, tmp_path / "g.npz"))
+        assert not loaded.edge_src.flags.writeable
+        assert not loaded.indices.flags.writeable
+        with pytest.raises(ValueError):
+            loaded.indptr[0] = 1
+
+    def test_mmap_of_v1_npz_refused(self, plc300, tmp_path):
+        path = save_snapshot(plc300, tmp_path / "g.npz")
+        with pytest.raises(SnapshotError, match="exploded"):
+            load_snapshot(path, mmap=True)
+
+    def test_missing_header_is_damage(self, plc300, tmp_path):
+        path = save_snapshot(plc300, tmp_path / "g.snap", layout="exploded")
+        (path / "header.json").unlink()
+        with pytest.raises(SnapshotError, match="not a CSR snapshot"):
+            load_snapshot(path)
+
+    def test_mixed_generation_sidecar_is_damage(self, plc300, tmp_path):
+        # A sidecar disagreeing with the header (e.g. a crash between two
+        # overwrites) must be named, not silently assembled.
+        path = save_snapshot(plc300, tmp_path / "g.snap", layout="exploded")
+        np.save(path / "indptr.npy", np.zeros(3, dtype=np.int64))
+        with pytest.raises(SnapshotError, match="indptr"):
+            load_snapshot(path)
+
+    def test_future_version_refused(self, plc300, tmp_path):
+        path = save_snapshot(plc300, tmp_path / "g.snap", layout="exploded")
+        header = json.loads((path / "header.json").read_text())
+        header["version"] = 99
+        (path / "header.json").write_text(json.dumps(header))
+        with pytest.raises(SnapshotError, match="version 99"):
+            load_snapshot(path)
+
+    def test_unknown_layout_rejected(self, plc300, tmp_path):
+        with pytest.raises(ValueError, match="layout"):
+            save_snapshot(plc300, tmp_path / "g", layout="imploded")
+
+    def test_add_graph_exploded_idempotent(self, store, plc300):
+        fp, path = store.add_graph_exploded(plc300)
+        assert fp == graph_fingerprint(plc300)
+        assert path.is_dir()
+        assert store.add_graph_exploded(plc300) == (fp, path)
+        self._assert_same_graph(plc300, load_snapshot(path, mmap=True))
+
+    def test_add_graph_exploded_rewrites_damage(self, store, plc300):
+        fp, path = store.add_graph_exploded(plc300)
+        (path / "header.json").write_text("{ torn")
+        fp2, path2 = store.add_graph_exploded(plc300)
+        assert (fp2, path2) == (fp, path)
+        self._assert_same_graph(plc300, load_snapshot(path2))
+
+
+class TestSnapshotValidation:
+    """Cross-field consistency: damage is named, never deferred to kernels."""
+
+    def _parts(self, g, **overrides):
+        parts = {
+            "edge_src": g.edge_src,
+            "edge_dst": g.edge_dst,
+            "indptr": g.indptr,
+            "indices": g.indices,
+            "arc_edge_ids": g.arc_edge_ids,
+            "edge_weights": g.edge_weights,
+        }
+        parts.update(overrides)
+        return parts
+
+    def test_well_formed_passes(self, plc300):
+        from repro.graphs.snapshot import validate_parts
+
+        validate_parts(plc300.n, plc300.directed, self._parts(plc300))
+
+    @pytest.mark.parametrize(
+        "field,value_fn,match",
+        [
+            ("edge_src", lambda g: None, "edge_src.*missing"),
+            ("edge_dst", lambda g: g.edge_dst[:-1], "edge_dst.*length"),
+            ("indptr", lambda g: g.indptr[:-2], "indptr.*length"),
+            ("indices", lambda g: g.indices[:-3], "indices.*length"),
+            (
+                "arc_edge_ids",
+                lambda g: g.arc_edge_ids[:-1],
+                "arc_edge_ids.*length",
+            ),
+            (
+                "edge_src",
+                lambda g: g.edge_src.astype(np.int32),
+                "edge_src.*dtype",
+            ),
+            (
+                "indices",
+                lambda g: g.indices.reshape(1, -1),
+                "indices.*1-D",
+            ),
+            (
+                "edge_weights",
+                lambda g: np.ones(3),
+                "edge_weights.*length",
+            ),
+        ],
+    )
+    def test_each_offending_field_is_named(self, plc300, field, value_fn, match):
+        from repro.graphs.snapshot import validate_parts
+
+        parts = self._parts(plc300, **{field: value_fn(plc300)})
+        with pytest.raises(SnapshotError, match=match):
+            validate_parts(plc300.n, plc300.directed, parts)
+
+    def test_indptr_endpoints_checked(self, plc300):
+        from repro.graphs.snapshot import validate_parts
+
+        bad = plc300.indptr.copy()
+        bad[-1] += 7
+        with pytest.raises(SnapshotError, match="indptr.*ends at"):
+            validate_parts(
+                plc300.n, plc300.directed, self._parts(plc300, indptr=bad)
+            )
+
+    def test_loader_applies_validation(self, plc300, tmp_path):
+        # End to end: a structurally inconsistent exploded snapshot whose
+        # header matches its sidecars still fails, naming the field.
+        path = save_snapshot(plc300, tmp_path / "g.snap", layout="exploded")
+        short = np.asarray(plc300.indptr[:-2])
+        np.save(path / "indptr.npy", short)
+        header = json.loads((path / "header.json").read_text())
+        header["arrays"]["indptr"]["shape"] = list(short.shape)
+        (path / "header.json").write_text(json.dumps(header))
+        with pytest.raises(SnapshotError, match="indptr"):
+            load_snapshot(path)
+
+
 class TestFingerprint:
     def test_content_not_identity(self, plc300):
         twin = gen.powerlaw_cluster(300, 5, 0.7, seed=7)
